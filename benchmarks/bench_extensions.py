@@ -1,0 +1,86 @@
+"""Bench: extension experiments (trace / online / topology).
+
+These go beyond the paper's figures: the scheduler catalogue on a
+Facebook-style trace (Varys/Aalo's home workload), online co-optimization
+against in-flight shuffles, and the rack-oversubscription sweep of the
+topology-aware planner.
+"""
+
+import pytest
+
+from repro.core.online import OnlineCCF
+from repro.core.topology_aware import ccf_heuristic_topology
+from repro.experiments.extensions import (
+    _burst_models,
+    run_online_vs_oblivious,
+    run_topology_sweep,
+    run_trace_schedulers,
+)
+from repro.network.analysis import analyze
+from repro.network.fabric import Fabric
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.network.topology import TwoLevelTopology
+from repro.workloads.analytic import AnalyticJoinWorkload
+from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+
+@pytest.fixture(scope="module")
+def trace_table(save_table):
+    return save_table(run_trace_schedulers(), "trace_schedulers")
+
+
+@pytest.fixture(scope="module")
+def online_table(save_table):
+    return save_table(run_online_vs_oblivious(), "online_vs_oblivious")
+
+
+@pytest.fixture(scope="module")
+def topology_table(save_table):
+    return save_table(run_topology_sweep(), "topology_sweep")
+
+
+def test_bench_trace_sebf(benchmark, trace_table):
+    cfg = CoflowMixConfig(n_ports=40, n_coflows=120, arrival_rate=2.0)
+    coflows = generate_coflow_mix(cfg)
+    fabric = Fabric(n_ports=40)
+
+    def run():
+        res = CoflowSimulator(fabric, make_scheduler("sebf")).run(coflows)
+        return analyze(res, coflows, fabric)
+
+    report = benchmark(run)
+    assert report.average_slowdown >= 1.0
+
+    named = {r[0]: dict(zip(trace_table.columns, r)) for r in trace_table.rows}
+    assert named["sebf"]["avg_cct_s"] <= named["fair"]["avg_cct_s"] + 1e-9
+
+
+def test_bench_online_planning(benchmark, online_table):
+    models = _burst_models(16, 6, seed=3)
+
+    def plan_stream():
+        online = OnlineCCF(n_nodes=16)
+        return [
+            online.submit(m, time=0.5 * j) for j, m in enumerate(models)
+        ]
+
+    plans = benchmark(plan_stream)
+    assert len(plans) == 6
+
+    named = {r[0]: dict(zip(online_table.columns, r)) for r in online_table.rows}
+    assert named["online"]["avg_cct_s"] < named["oblivious"]["avg_cct_s"]
+
+
+def test_bench_topology_aware_heuristic(benchmark, topology_table):
+    wl = AnalyticJoinWorkload(n_nodes=96, scale_factor=6.0, partitions=384)
+    model = wl.shuffle_model(skew_handling=True)
+    topo = TwoLevelTopology(
+        n_hosts=96, hosts_per_rack=12, host_rate=model.rate, oversubscription=4.0
+    )
+    dest = benchmark(ccf_heuristic_topology, model, topo)
+    assert dest.shape == (384,)
+
+    flat = topology_table.column("flat_cct_s")
+    aware = topology_table.column("aware_cct_s")
+    assert aware[-1] <= flat[-1]

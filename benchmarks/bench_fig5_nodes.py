@@ -1,0 +1,46 @@
+"""Bench: Figure 5 -- Hash/Mini/CCF over the number of nodes (paper scale).
+
+Regenerates both panels (network traffic in GB, communication time in s)
+for the full sweep 100..1000 nodes at SF 600, and times the CCF planning
+kernel (Algorithm 1 end-to-end, including skew pre-processing) at the
+500-node point.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.framework import CCF
+from repro.experiments.figures import FIG5_NODES, SweepConfig, run_fig5_nodes
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    cfg = SweepConfig(scale_factor=BENCH_SCALE)
+    t = run_fig5_nodes(cfg, nodes=FIG5_NODES)
+    mini = t.column("mini_cct_s")
+    hash_ = t.column("hash_cct_s")
+    ccf = t.column("ccf_cct_s")
+    vs_mini = [m / c for m, c in zip(mini, ccf)]
+    vs_hash = [h / c for h, c in zip(hash_, ccf)]
+    t.add_note(
+        f"speedup over Mini: {min(vs_mini):.1f}-{max(vs_mini):.1f}x "
+        "(paper: 8.1-15.2x); "
+        f"over Hash: {min(vs_hash):.1f}-{max(vs_hash):.1f}x (paper: 2.1-3.7x)"
+    )
+    return save_table(t, "fig5_nodes")
+
+
+def test_bench_fig5_ccf_planning_500_nodes(benchmark, table):
+    wl = AnalyticJoinWorkload(n_nodes=500, scale_factor=BENCH_SCALE)
+    ccf = CCF()
+    plan = benchmark(ccf.plan, wl, "ccf")
+    assert plan.cct > 0
+
+    # Shape assertions on the full sweep (paper Fig. 5(b)):
+    for mini, hash_, ccf_t in zip(
+        table.column("mini_cct_s"),
+        table.column("hash_cct_s"),
+        table.column("ccf_cct_s"),
+    ):
+        assert ccf_t < hash_ < mini

@@ -1,0 +1,43 @@
+"""Bench: Figure 6 -- Hash/Mini/CCF over the Zipf factor (paper scale).
+
+Full sweep zipf 0..1 at 500 nodes / SF 600 / skew 20%, timing the CCF
+planning kernel at the paper's default zipf = 0.8 point.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_NODES, BENCH_SCALE
+from repro.core.framework import CCF
+from repro.experiments.figures import FIG6_ZIPF, SweepConfig, run_fig6_zipf
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    cfg = SweepConfig(scale_factor=BENCH_SCALE, n_nodes=BENCH_NODES)
+    t = run_fig6_zipf(cfg, zipfs=FIG6_ZIPF)
+    mini = t.column("mini_cct_s")
+    hash_ = t.column("hash_cct_s")
+    ccf = t.column("ccf_cct_s")
+    vs_mini = [m / c for m, c in zip(mini, ccf)]
+    vs_hash = [h / c for h, c in zip(hash_, ccf)]
+    t.add_note(
+        f"speedup over Mini: {min(vs_mini):.1f}-{max(vs_mini):.0f}x "
+        "(paper: 6.7-395x); "
+        f"over Hash: {min(vs_hash):.1f}-{max(vs_hash):.0f}x (paper: 1.9-98.7x)"
+    )
+    return save_table(t, "fig6_zipf")
+
+
+def test_bench_fig6_ccf_planning_default_zipf(benchmark, table):
+    wl = AnalyticJoinWorkload(
+        n_nodes=BENCH_NODES, scale_factor=BENCH_SCALE, zipf_s=0.8
+    )
+    plan = benchmark(CCF().plan, wl, "ccf")
+    assert plan.cct > 0
+
+    # Paper shapes: Hash roughly flat, CCF grows with zipf, Mini worst.
+    ccf = table.column("ccf_cct_s")
+    assert ccf == sorted(ccf)
+    for mini, ccf_t in zip(table.column("mini_cct_s"), ccf):
+        assert ccf_t < mini

@@ -1,0 +1,59 @@
+"""Bench: local-search refinement cost and benefit.
+
+Regenerates a table of Algorithm 1 vs Algorithm 1 + local search over the
+synthetic workload family, and times the refinement pass.  The paper has
+no counterpart -- this quantifies the repair of the greedy's adversarial
+cases (DESIGN.md §38).
+"""
+
+import pytest
+
+from repro.core.heuristic import ccf_heuristic
+from repro.core.localsearch import refine_assignment
+from repro.experiments.tables import ResultTable
+from repro.workloads.synthetic import (
+    bimodal_workload,
+    clustered_workload,
+    lognormal_workload,
+)
+
+WORKLOADS = {
+    "lognormal": lambda: lognormal_workload(30, 300, seed=5),
+    "clustered": lambda: clustered_workload(30, 300, seed=5),
+    "bimodal": lambda: bimodal_workload(30, 300, seed=5),
+}
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    t = ResultTable(
+        title="Local search on top of Algorithm 1 (synthetic workloads)",
+        columns=["workload", "greedy_T_mb", "refined_T_mb", "moves",
+                 "improvement_%"],
+    )
+    for name, make in WORKLOADS.items():
+        model = make()
+        start = ccf_heuristic(model)
+        res = refine_assignment(model, start)
+        t.add_row(
+            name,
+            res.initial_t / 1e6,
+            res.final_t / 1e6,
+            res.moves,
+            100 * res.improvement,
+        )
+    t.add_note("single-move hill climbing; provably never hurts")
+    return save_table(t, "localsearch")
+
+
+def test_bench_localsearch_refinement(benchmark, table):
+    model = lognormal_workload(30, 300, seed=5)
+    start = ccf_heuristic(model)
+
+    res = benchmark(refine_assignment, model, start)
+    assert res.final_t <= res.initial_t + 1e-9
+
+    for init, final in zip(
+        table.column("greedy_T_mb"), table.column("refined_T_mb")
+    ):
+        assert final <= init + 1e-9

@@ -1,0 +1,26 @@
+"""Bench: the motivating example (paper Fig. 1 + Fig. 2).
+
+Regenerates the published toy numbers (traffic 8/7/6; CCTs 6/4/3) and
+times the full derivation (strategy runs, SP1 enumeration, simulator
+validation).
+"""
+
+import pytest
+
+from repro.experiments.motivating import MotivatingExample, run_motivating
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    return save_table(run_motivating(), "motivating")
+
+
+def test_bench_motivating_build(benchmark, table):
+    ex = benchmark(MotivatingExample.build)
+    # The published series, re-asserted on every bench run.
+    assert ex.traffic(ex.sp0_hash) == 8.0
+    assert ex.traffic(ex.sp1_suboptimal) == 7.0
+    assert ex.traffic(ex.sp2_traffic_optimal) == 6.0
+    assert ex.optimal_cct(ex.sp2_traffic_optimal) == 4.0
+    assert ex.optimal_cct(ex.sp1_suboptimal) == 3.0
+    assert ex.simulated_cct(ex.sp2_traffic_optimal, "sequential") == pytest.approx(6.0)

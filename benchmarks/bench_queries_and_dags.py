@@ -1,0 +1,64 @@
+"""Bench: analytical queries and DAG jobs under CCF.
+
+Regenerates the query-suite table (filters/joins/aggregation/distinct
+under three strategies) and the DAG comparison, timing the query
+executor and the DAG simulation.
+"""
+
+import pytest
+
+from repro.analytics.compile import QueryExecutor
+from repro.analytics.dag import DAGExecutor, JobDAG
+from repro.analytics.queries import build_tpch_catalog, orders_per_customer
+from repro.experiments.querybench import run_query_suite
+from repro.join.operators import DistributedAggregation, DistributedJoin
+from repro.join.partitioner import HashPartitioner
+from repro.workloads.tpch import TPCHConfig, generate_tpch_relations
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    return save_table(run_query_suite(), "query_suite")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(
+        TPCHConfig(n_nodes=8, scale_factor=0.02, skew=0.2, seed=1)
+    )
+
+
+def test_bench_query_execution(benchmark, table, catalog):
+    ex = QueryExecutor(catalog, skew_factor=50.0)
+
+    def run():
+        return ex.execute(orders_per_customer(), strategy="ccf")
+
+    result = benchmark(run)
+    assert result.rows > 0
+
+    # Query-suite invariants from the saved table.
+    for mini, ccf in zip(
+        table.column("mini_comm_s"), table.column("ccf_comm_s")
+    ):
+        assert ccf <= mini + 1e-9
+
+
+def test_bench_dag_execution(benchmark):
+    config = TPCHConfig(n_nodes=6, scale_factor=0.01, skew=0.2, seed=4)
+    customer, orders = generate_tpch_relations(config)
+    part = HashPartitioner(p=15 * config.n_nodes)
+    dag = (
+        JobDAG("bench")
+        .add("join", DistributedJoin(customer, orders, partitioner=part,
+                                     skew_factor=50.0))
+        .add("agg", DistributedAggregation(orders, partitioner=part,
+                                           pre_aggregate=True))
+    )
+    executor = DAGExecutor()
+
+    result = benchmark(executor.run, dag, strategy="ccf")
+    assert set(result.stages) == {"join", "agg"}
+    # Independent roots overlap in time.
+    s = result.stages
+    assert s["agg"].start_time == 0.0 and s["join"].start_time == 0.0

@@ -1,0 +1,52 @@
+"""Bench: coflow-scheduler ablation (fair/FIFO/SCF/NCF/SEBF/D-CLAS/sequential).
+
+Regenerates the discipline-comparison table on a contended coflow stream
+and times the event-driven simulator under Varys' SEBF.
+"""
+
+import pytest
+
+from repro.core.framework import CCF
+from repro.experiments.ablation import run_scheduler_ablation
+from repro.network.fabric import Fabric
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    return save_table(run_scheduler_ablation(), "scheduler_ablation")
+
+
+@pytest.fixture(scope="module")
+def coflow_stream():
+    wl = AnalyticJoinWorkload(n_nodes=20, scale_factor=0.5, partitions=80)
+    plan = CCF().plan(wl, "ccf")
+    coflows = [plan.to_coflow(arrival_time=2.0 * j) for j in range(6)]
+    return Fabric(n_ports=20, rate=plan.model.rate), coflows
+
+
+def test_bench_simulator_sebf(benchmark, table, coflow_stream):
+    fabric, coflows = coflow_stream
+
+    def run():
+        return CoflowSimulator(fabric, make_scheduler("sebf")).run(coflows)
+
+    res = benchmark(run)
+    assert len(res.ccts) == len(coflows)
+
+    # Coflow-aware scheduling must not lose to plain fair sharing.
+    for row in table.rows:
+        named = dict(zip(table.columns, row))
+        assert named["sebf"] <= named["fair"] + 1e-9
+
+
+def test_bench_simulator_fair(benchmark, coflow_stream):
+    fabric, coflows = coflow_stream
+
+    def run():
+        return CoflowSimulator(fabric, make_scheduler("fair")).run(coflows)
+
+    res = benchmark(run)
+    assert res.total_bytes > 0

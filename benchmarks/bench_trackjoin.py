@@ -1,0 +1,85 @@
+"""Bench: track join vs Mini vs CCF (per-key vs partition granularity).
+
+Track join is the paper's flagship citation for application-level traffic
+minimization (footnote 6 notes CCF "can be also extended to that level").
+This bench regenerates a comparison table -- traffic and bandwidth-optimal
+CCT of track join, Mini, partition-level CCF and key-refined CCF on a
+heavy-key workload -- and times the track-join decision phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.core.heuristic import ccf_heuristic
+from repro.experiments.tables import ResultTable
+from repro.join.keylevel import refine_model
+from repro.join.operators import DistributedJoin
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+from repro.join.trackjoin import TrackJoin
+
+
+def heavy_key_workload(n_nodes=6, n_keys=40, seed=2):
+    rng = np.random.default_rng(seed)
+    w = np.arange(1, n_nodes + 1, dtype=float) ** -0.9
+    w /= w.sum()
+
+    def rel(tuples_per_key):
+        keys, nodes = [], []
+        for k in range(n_keys):
+            keys.append(np.full(tuples_per_key, k))
+            nodes.append(rng.choice(n_nodes, size=tuples_per_key, p=w))
+        return DistributedRelation.from_placement(
+            np.concatenate(keys), np.concatenate(nodes), n_nodes,
+            payload_bytes=100.0,
+        )
+
+    return rel(30), rel(150)
+
+
+@pytest.fixture(scope="module")
+def table(save_table):
+    left, right = heavy_key_workload()
+    n = left.n_nodes
+    part = HashPartitioner(p=2 * n)
+    t = ResultTable(
+        title="Track join vs Mini vs CCF (bytes and bandwidth-optimal CCT)",
+        columns=["strategy", "traffic_mb", "cct_s"],
+    )
+
+    tj = TrackJoin(left, right, rate=128e6).schedule()
+    t.add_row("track-join (per key)", tj.traffic / 1e6, tj.cct)
+
+    join = DistributedJoin(left, right, partitioner=part, skew_factor=1e9)
+    for s in ("mini", "ccf"):
+        plan = CCF(skew_handling=False).plan(join, s)
+        t.add_row(f"{s} (per partition)", plan.traffic / 1e6, plan.cct)
+
+    ref = refine_model([left, right], part, split_fraction=1.0, rate=128e6)
+    dest = ccf_heuristic(ref.model)
+    m = ref.model.evaluate(dest)
+    t.add_row("ccf (per key, refined)", m.traffic / 1e6, m.cct)
+    t.add_note(
+        "track join moves the fewest bytes; CCF finishes the shuffle "
+        "fastest, and per-key refinement widens its margin"
+    )
+    return save_table(t, "trackjoin_comparison")
+
+
+def test_bench_trackjoin_decisions(benchmark, table):
+    left, right = heavy_key_workload()
+
+    def decide():
+        return TrackJoin(left, right, rate=128e6).decide()
+
+    decisions = benchmark(decide)
+    assert decisions
+
+    # Table invariants: track join has the least traffic, CCF variants the
+    # best CCT.
+    traffic = dict(zip(table.column("strategy"), table.column("traffic_mb")))
+    cct = dict(zip(table.column("strategy"), table.column("cct_s")))
+    assert traffic["track-join (per key)"] == min(traffic.values())
+    assert cct["ccf (per key, refined)"] <= cct["mini (per partition)"]
+    assert cct["ccf (per key, refined)"] <= cct["track-join (per key)"] + 1e-9

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at paper scale
+(SF 600, p = 15 n) and times the kernel that produces it.  The tables are
+printed to stdout (visible with ``-s``) and saved under
+``benchmarks/results/`` so a plain ``pytest benchmarks/ --benchmark-only``
+leaves the full set of reproduced series on disk.
+
+Environment knob: set ``CCF_BENCH_SCALE`` (default 600) to a smaller TPC-H
+scale factor for quicker runs; shapes are scale-invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tables import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: TPC-H scale factor used by the figure benches (paper: 600).
+BENCH_SCALE = float(os.environ.get("CCF_BENCH_SCALE", "600"))
+
+#: Node count for the fixed-size sweeps (paper: 500).
+BENCH_NODES = int(os.environ.get("CCF_BENCH_NODES", "500"))
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a ResultTable under benchmarks/results/ and echo it."""
+
+    def _save(table: ResultTable, name: str) -> ResultTable:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.render() + "\n")
+        print()
+        print(table.render())
+        return table
+
+    return _save

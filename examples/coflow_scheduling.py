@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The network side: coflow scheduling disciplines head to head.
+
+Runs the same stream of shuffle coflows (CCF plans of four join jobs,
+arriving online) through the event-driven simulator under every
+discipline -- per-flow fair sharing, FIFO, SCF, NCF, Varys' SEBF, Aalo's
+D-CLAS and the uncoordinated sequential worst case -- and reports average
+and worst CCT.
+
+Run:  python examples/coflow_scheduling.py
+"""
+
+from repro import CCF, AnalyticJoinWorkload, CoflowSimulator, Fabric
+from repro.network.schedulers import make_scheduler
+
+
+def main() -> None:
+    n_nodes = 16
+    workload = AnalyticJoinWorkload(
+        n_nodes=n_nodes, scale_factor=0.4, partitions=4 * n_nodes
+    )
+    plan = CCF().plan(workload, "ccf")
+    fabric = Fabric(n_ports=n_nodes, rate=plan.model.rate)
+
+    # Four identical join shuffles arriving 1.5 s apart (online coflows).
+    coflows = [plan.to_coflow(arrival_time=1.5 * j) for j in range(4)]
+    isolated = coflows[0].bottleneck(n_nodes, plan.model.rate)
+    print(f"each coflow: {coflows[0].width} flows, "
+          f"{coflows[0].total_volume / 1e9:.2f} GB, "
+          f"{isolated:.2f} s alone on the fabric\n")
+
+    print(f"{'discipline':<12} {'avg CCT (s)':>12} {'max CCT (s)':>12}")
+    print("-" * 38)
+    for name in ("fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"):
+        sim = CoflowSimulator(fabric, make_scheduler(name))
+        res = sim.run(coflows)
+        print(f"{name:<12} {res.average_cct:>12.2f} {res.max_cct:>12.2f}")
+
+    print("\ncoflow-aware disciplines (sebf, scf, fifo) finish each job sooner")
+    print("than TCP-like per-flow fairness; Aalo's dclas gets close without")
+    print("knowing flow sizes; the sequential strawman shows why coordination")
+    print("matters at all (paper Fig. 2(a)).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Graph analytics on CCF: distributed triangle counting.
+
+A random graph's edge list is sharded over machines; triangles are
+counted with the classical two-join pipeline (build wedges on the middle
+vertex, close them against the edge set), each join co-optimized by CCF.
+The count is verified against networkx.
+
+Run:  python examples/graph_triangles.py
+"""
+
+import networkx as nx
+
+from repro.workloads.graph import (
+    GraphConfig,
+    count_triangles_distributed,
+    generate_edge_relation,
+    generate_edges,
+)
+
+
+def main() -> None:
+    config = GraphConfig(
+        n_nodes=6, n_vertices=120, edge_probability=0.08, zipf_s=0.8, seed=11
+    )
+    edges = generate_edges(config)
+    relation = generate_edge_relation(config)
+    print(
+        f"graph: {config.n_vertices} vertices, {edges.shape[0]} edges, "
+        f"sharded over {config.n_nodes} machines"
+    )
+
+    g = nx.Graph()
+    g.add_edges_from(map(tuple, edges.tolist()))
+    expected = sum(nx.triangles(g).values()) // 3
+    print(f"networkx ground truth: {expected} triangles\n")
+
+    print(f"{'strategy':<8} {'triangles':>10} {'wedges':>8} "
+          f"{'comm (ms)':>10} {'traffic (KB)':>13}")
+    print("-" * 54)
+    for strategy in ("hash", "mini", "ccf"):
+        result = count_triangles_distributed(relation, strategy=strategy)
+        assert result.triangles == expected, "distributed count diverged!"
+        print(
+            f"{strategy:<8} {result.triangles:>10} {result.wedges:>8} "
+            f"{result.total_communication_seconds * 1e3:>10.3f} "
+            f"{sum(result.stage_traffic) / 1e3:>13.1f}"
+        )
+
+    print("\nevery strategy produces the exact count; CCF just moves the")
+    print("wedge and closing shuffles through the fabric fastest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Skew handling in action: partial duplication vs hash hotspots.
+
+Reproduces the Figure 7 story at laptop scale: as more ORDERS tuples pile
+onto one hot CUSTKEY, the hash-based join melts down (every skewed tuple
+is shipped to the same node) while Mini and CCF keep skewed tuples local
+and broadcast the handful of matching CUSTOMER rows instead.
+
+Run:  python examples/skewed_analytics.py
+"""
+
+from repro import CCF, AnalyticJoinWorkload
+
+
+def main() -> None:
+    n_nodes = 50
+    framework = CCF()
+
+    print(f"{'skew':>6} {'hash (s)':>10} {'mini (s)':>10} {'ccf (s)':>10} "
+          f"{'ccf local (GB)':>15}")
+    for skew in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5):
+        workload = AnalyticJoinWorkload(
+            n_nodes=n_nodes, scale_factor=3.0, zipf_s=0.8, skew=skew
+        )
+        cmp = framework.compare(workload)
+        local = cmp["ccf"].metrics.local_bytes / 1e9
+        print(
+            f"{skew:>5.0%} {cmp.cct('hash'):>10.2f} {cmp.cct('mini'):>10.2f} "
+            f"{cmp.cct('ccf'):>10.2f} {local:>15.2f}"
+        )
+
+    print("\nhash time *rises* with skew (hotspot at the hash destination of")
+    print("the hot key); mini/ccf *fall* because partial duplication pins the")
+    print("skewed tuples in place and frees that bandwidth for the rest.")
+
+    # Peek inside the skew pre-processing at one point.
+    workload = AnalyticJoinWorkload(n_nodes=n_nodes, scale_factor=3.0, skew=0.3)
+    raw = workload.shuffle_model(skew_handling=False)
+    handled = workload.shuffle_model(skew_handling=True)
+    print(f"\nat skew=30%: shuffle mass {raw.h.sum() / 1e9:.2f} GB -> "
+          f"{handled.h.sum() / 1e9:.2f} GB after partial duplication")
+    print(f"broadcast volume injected: {handled.v0.sum() / 1e6:.3f} MB "
+          f"(the hot key's CUSTOMER rows, replicated to all nodes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""End-to-end tuple-level join: generate, plan, shuffle, join, verify.
+
+Unlike the analytic quickstart, this example materializes real key arrays
+(the paper's CUSTOMER ⋈ ORDERS at a small scale factor), executes the
+shuffle a plan prescribes, runs the local hash joins, and checks that
+every strategy produces exactly the centralized join cardinality.
+
+Run:  python examples/tpch_join.py
+"""
+
+from repro import CCF, DistributedJoin, HashPartitioner, TPCHConfig
+from repro.workloads.tpch import generate_tpch_relations
+
+
+def main() -> None:
+    config = TPCHConfig(
+        n_nodes=8,
+        scale_factor=0.01,  # 1.5k customers, 15k orders
+        zipf_s=0.8,
+        skew=0.2,
+        seed=7,
+    )
+    customer, orders = generate_tpch_relations(config)
+    print(
+        f"CUSTOMER: {customer.total_tuples} tuples, "
+        f"ORDERS: {orders.total_tuples} tuples over {config.n_nodes} nodes"
+    )
+
+    join = DistributedJoin(
+        customer,
+        orders,
+        partitioner=HashPartitioner(p=15 * config.n_nodes),
+        skew_factor=50.0,
+    )
+    print(f"skewed keys detected: {join.skewed_keys().tolist()}")
+    expected = join.expected_cardinality()
+    print(f"centralized join cardinality: {expected}\n")
+
+    framework = CCF()
+    header = (
+        f"{'strategy':<8} {'traffic (MB)':>12} {'model CCT (s)':>14} "
+        f"{'result tuples':>14} {'correct':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for strategy in ("hash", "mini", "ccf"):
+        plan = framework.plan(join, strategy)
+        result = join.execute(plan)
+        ok = result.cardinality == expected
+        print(
+            f"{strategy:<8} {result.realized_traffic / 1e6:>12.2f} "
+            f"{plan.cct:>14.4f} {result.cardinality:>14} {str(ok):>8}"
+        )
+        assert ok, f"{strategy} produced a wrong join result!"
+
+    print("\nall strategies co-locate every join key correctly; "
+          "they differ only in where the bytes go and how long that takes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""CCF: Coflow-based Co-optimization Framework for data analytics.
+
+Full reproduction of Cheng, Wang, Pei & Epema,
+*A Coflow-based Co-optimization Framework for High-performance Data
+Analytics*, ICPP 2017 (DOI 10.1109/ICPP.2017.48).
+
+Quick tour
+----------
+>>> from repro import CCF, AnalyticJoinWorkload
+>>> wl = AnalyticJoinWorkload(n_nodes=50, scale_factor=6.0)
+>>> cmp = CCF().compare(wl)                  # Hash vs Mini vs CCF
+>>> cmp.speedup("mini", "ccf") > 1           # co-optimization wins
+True
+
+Packages
+--------
+``repro.core``
+    The co-optimization model, Algorithm 1, the exact MILP, skew handling
+    and the framework front-end.
+``repro.network``
+    Coflow abstraction, non-blocking fabric, event-driven simulator and
+    the scheduling disciplines (fair, FIFO, SCF, NCF, SEBF, D-CLAS).
+``repro.join``
+    Distributed relations, hash partitioning, shuffle execution, local
+    joins, and the distributed operators (join/aggregate/distinct).
+``repro.workloads``
+    TPC-H-like tuple-level generator and the closed-form analytic
+    generator at paper scale.
+``repro.analytics``
+    Multi-operator analytical jobs and their executor.
+``repro.experiments``
+    The paper's evaluation: Figures 5/6/7, the motivating example, the
+    solver-overhead study and ablations.
+"""
+
+from repro.analytics import AnalyticalJob, JobExecutor
+from repro.core import (
+    CCF,
+    ExecutionPlan,
+    PlanComparison,
+    ShuffleModel,
+    ccf_exact,
+    ccf_heuristic,
+)
+from repro.join import DistributedJoin, DistributedRelation, HashPartitioner
+from repro.network import Coflow, CoflowSimulator, Fabric, Flow
+from repro.workloads import AnalyticJoinWorkload, TPCHConfig, generate_tpch_relations
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticJoinWorkload",
+    "AnalyticalJob",
+    "CCF",
+    "Coflow",
+    "CoflowSimulator",
+    "DistributedJoin",
+    "DistributedRelation",
+    "ExecutionPlan",
+    "Fabric",
+    "Flow",
+    "HashPartitioner",
+    "JobExecutor",
+    "PlanComparison",
+    "ShuffleModel",
+    "TPCHConfig",
+    "ccf_exact",
+    "ccf_heuristic",
+    "generate_tpch_relations",
+    "__version__",
+]

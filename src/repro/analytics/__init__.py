@@ -1,0 +1,38 @@
+"""Analytical jobs: sequences of distributed operators under CCF.
+
+The paper's architecture (Fig. 3) decomposes an analytical job into
+sequential distributed operators, each co-optimized and handed to the
+data-processing layer.  :class:`repro.analytics.query.AnalyticalJob`
+models that pipeline; :class:`repro.analytics.executor.JobExecutor` plans
+every stage with a chosen strategy and measures total communication time,
+either in closed form or through the coflow simulator.
+"""
+
+from repro.analytics.catalog import Catalog, TableStats
+from repro.analytics.compile import QueryExecutor, QueryResult, estimate, optimize_joins
+from repro.analytics.dag import DAGExecutor, DAGResult, JobDAG
+from repro.analytics.executor import JobExecutor, JobResult, StageResult
+from repro.analytics.logical import Distinct, EquiJoin, Filter, GroupByKey, Scan
+from repro.analytics.query import AnalyticalJob, Stage
+
+__all__ = [
+    "AnalyticalJob",
+    "Catalog",
+    "DAGExecutor",
+    "DAGResult",
+    "JobDAG",
+    "Distinct",
+    "EquiJoin",
+    "Filter",
+    "GroupByKey",
+    "JobExecutor",
+    "JobResult",
+    "QueryExecutor",
+    "QueryResult",
+    "Scan",
+    "Stage",
+    "StageResult",
+    "TableStats",
+    "estimate",
+    "optimize_joins",
+]

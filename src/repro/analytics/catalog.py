@@ -1,0 +1,95 @@
+"""Catalog: named base relations plus the statistics the optimizer uses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.join.relation import DistributedRelation
+
+__all__ = ["Catalog", "TableStats"]
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Optimizer statistics for one relation.
+
+    Computed exactly at registration time (the relations here are small
+    enough; a production system would sample).
+    """
+
+    rows: int
+    distinct_keys: int
+    bytes: float
+
+    @property
+    def rows_per_key(self) -> float:
+        """Average multiplicity of a key."""
+        if self.distinct_keys == 0:
+            return 0.0
+        return self.rows / self.distinct_keys
+
+
+class Catalog:
+    """Mapping table-name -> (relation, stats).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.analytics.catalog import Catalog
+    >>> from repro.join.relation import DistributedRelation
+    >>> cat = Catalog()
+    >>> rel = DistributedRelation(shards=[np.array([1, 1, 2])])
+    >>> cat.register("t", rel)
+    >>> cat.stats("t").distinct_keys
+    2
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, DistributedRelation] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._n_nodes: int | None = None
+
+    def register(self, name: str, relation: DistributedRelation) -> None:
+        """Add a base relation; all tables must span the same nodes."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already registered")
+        if self._n_nodes is None:
+            self._n_nodes = relation.n_nodes
+        elif relation.n_nodes != self._n_nodes:
+            raise ValueError(
+                f"table {name!r} spans {relation.n_nodes} nodes, catalog "
+                f"has {self._n_nodes}"
+            )
+        keys = relation.all_keys()
+        self._tables[name] = relation
+        self._stats[name] = TableStats(
+            rows=relation.total_tuples,
+            distinct_keys=int(np.unique(keys).size) if keys.size else 0,
+            bytes=relation.total_bytes,
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        if self._n_nodes is None:
+            raise ValueError("catalog is empty")
+        return self._n_nodes
+
+    def tables(self) -> list[str]:
+        """Registered table names."""
+        return list(self._tables)
+
+    def relation(self, name: str) -> DistributedRelation:
+        """Look up a relation by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def stats(self, name: str) -> TableStats:
+        """Look up statistics by name."""
+        self.relation(name)  # raise uniformly on unknown tables
+        return self._stats[name]

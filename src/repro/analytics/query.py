@@ -1,0 +1,51 @@
+"""Analytical jobs as sequences of CCF-schedulable stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import ShuffleWorkload
+
+__all__ = ["Stage", "AnalyticalJob"]
+
+
+@dataclass
+class Stage:
+    """One distributed operator inside a job.
+
+    Parameters
+    ----------
+    workload:
+        Anything implementing the ShuffleWorkload protocol (a
+        :class:`~repro.join.operators.DistributedJoin`, a raw
+        :class:`~repro.core.model.ShuffleModel`, ...).
+    name:
+        Stage label for reports.
+    """
+
+    workload: ShuffleWorkload
+    name: str = ""
+
+
+@dataclass
+class AnalyticalJob:
+    """An ordered pipeline of distributed operators (paper Fig. 3).
+
+    Stages execute sequentially: each stage's shuffle coflow starts when
+    the previous stage's coflow completes, matching the paper's
+    "sequential distributed data operators" decomposition.
+    """
+
+    stages: list[Stage] = field(default_factory=list)
+    name: str = "job"
+
+    def add(self, workload: ShuffleWorkload, name: str = "") -> "AnalyticalJob":
+        """Append a stage (fluent)."""
+        self.stages.append(Stage(workload=workload, name=name or f"stage{len(self.stages)}"))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)

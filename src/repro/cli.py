@@ -1,0 +1,360 @@
+"""``ccf`` command-line interface: run paper experiments from the shell.
+
+Examples
+--------
+.. code-block:: console
+
+    $ ccf list
+    $ ccf run motivating
+    $ ccf run fig5 --quick
+    $ ccf run fig7 --scale-factor 60 --nodes 100
+    $ ccf plan --nodes 50 --scale-factor 3 --strategy ccf --out plan.json
+    $ ccf simulate plan.json --scheduler sebf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.figures import (
+    SweepConfig,
+    run_fig5_nodes,
+    run_fig6_zipf,
+    run_fig7_skew,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Sweeps that accept a SweepConfig (others run with fixed defaults).
+_CONFIGURABLE = {
+    "fig5": lambda cfg: run_fig5_nodes(cfg),
+    "fig6": lambda cfg: run_fig6_zipf(cfg),
+    "fig7": lambda cfg: run_fig7_skew(cfg),
+}
+
+#: Reduced sweep used by ``--quick``.
+_QUICK_SCALE = 30.0
+_QUICK_NODES = 50
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ccf",
+        description="Reproduce the CCF paper's evaluation (ICPP 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"reduced scale (SF={_QUICK_SCALE}, {_QUICK_NODES} nodes) for sweeps",
+    )
+    run.add_argument(
+        "--scale-factor", type=float, default=None, help="TPC-H scale factor"
+    )
+    run.add_argument(
+        "--nodes", type=int, default=None, help="number of nodes (fig6/fig7 sweeps)"
+    )
+    run.add_argument(
+        "--markdown", action="store_true", help="render the table as markdown"
+    )
+    run.add_argument(
+        "--csv", action="store_true", help="render the table as CSV"
+    )
+
+    plan = sub.add_parser(
+        "plan", help="plan a synthetic join workload and export its coflow"
+    )
+    plan.add_argument("--nodes", type=int, default=50)
+    plan.add_argument("--scale-factor", type=float, default=3.0)
+    plan.add_argument("--zipf", type=float, default=0.8)
+    plan.add_argument("--skew", type=float, default=0.2)
+    plan.add_argument(
+        "--strategy",
+        choices=["hash", "mini", "ccf", "ccf-exact"],
+        default="ccf",
+    )
+    plan.add_argument("--out", type=str, default=None, help="coflow JSON path")
+
+    simulate = sub.add_parser(
+        "simulate", help="run a coflow JSON file through the simulator"
+    )
+    simulate.add_argument("coflow_file", type=str)
+    simulate.add_argument(
+        "--scheduler",
+        choices=["fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"],
+        default="sebf",
+    )
+    simulate.add_argument(
+        "--rate", type=float, default=128e6, help="port rate in bytes/s"
+    )
+
+    report = sub.add_parser(
+        "report", help="run a set of experiments and write a markdown report"
+    )
+    report.add_argument(
+        "--out", type=str, default="ccf-report.md", help="output markdown path"
+    )
+    report.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        help="subset to run (default: the quick ones; 'all' for everything)",
+    )
+    report.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale for the paper-figure sweeps",
+    )
+
+    verify = sub.add_parser(
+        "verify", help="check every published claim of the paper (PASS/FAIL)"
+    )
+    verify.add_argument(
+        "--scale-factor", type=float, default=60.0,
+        help="TPC-H scale factor for the sweeps (600 = paper scale)",
+    )
+    verify.add_argument("--nodes", type=int, default=100)
+
+    trace_gen = sub.add_parser(
+        "trace-gen",
+        help="generate a synthetic Facebook-style coflow trace file",
+    )
+    trace_gen.add_argument("out", type=str, help="output path")
+    trace_gen.add_argument(
+        "--format", choices=["json", "coflowsim"], default="json"
+    )
+    trace_gen.add_argument("--ports", type=int, default=40)
+    trace_gen.add_argument("--coflows", type=int, default=100)
+    trace_gen.add_argument("--arrival-rate", type=float, default=2.0)
+    trace_gen.add_argument("--seed", type=int, default=0)
+
+    gantt_cmd = sub.add_parser(
+        "gantt",
+        help="simulate a coflow file and render an ASCII Gantt chart",
+    )
+    gantt_cmd.add_argument("coflow_file", type=str)
+    gantt_cmd.add_argument(
+        "--scheduler",
+        choices=["fair", "wss", "fifo", "scf", "ncf", "sebf", "dclas",
+                 "deadline", "sequential"],
+        default="sebf",
+    )
+    gantt_cmd.add_argument("--rate", type=float, default=128e6)
+    gantt_cmd.add_argument("--width", type=int, default=60)
+    return parser
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Plan a synthetic workload; optionally export the coflow as JSON."""
+    from repro.core.framework import CCF
+    from repro.network.io import save_coflows
+    from repro.workloads.analytic import AnalyticJoinWorkload
+
+    workload = AnalyticJoinWorkload(
+        n_nodes=args.nodes,
+        scale_factor=args.scale_factor,
+        zipf_s=args.zipf,
+        skew=args.skew,
+    )
+    plan = CCF().plan(workload, args.strategy)
+    print(plan.describe())
+    if args.out:
+        save_coflows([plan.to_coflow()], args.out)
+        print(f"coflow written to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Replay a coflow JSON file through the chosen discipline."""
+    from repro.network.fabric import Fabric
+    from repro.network.io import load_coflows
+    from repro.network.schedulers import make_scheduler
+    from repro.network.simulator import CoflowSimulator
+
+    coflows = load_coflows(args.coflow_file)
+    if not coflows:
+        print("no coflows in file")
+        return 1
+    n_ports = max(c.max_port for c in coflows) + 1
+    sim = CoflowSimulator(
+        Fabric(n_ports=n_ports, rate=args.rate), make_scheduler(args.scheduler)
+    )
+    res = sim.run(coflows)
+    print(f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s")
+    for cid in sorted(res.ccts):
+        print(f"  coflow {cid}: CCT = {res.ccts[cid]:.3f} s")
+    print(f"average CCT: {res.average_cct:.3f} s, makespan: {res.makespan:.3f} s")
+    return 0
+
+
+#: Experiments cheap enough for the default report.
+_QUICK_REPORT = (
+    "motivating",
+    "solver",
+    "ablation-heuristic",
+    "trace",
+    "online",
+    "topology",
+)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a batch of experiments and write one markdown report."""
+    from pathlib import Path
+
+    names = args.experiments
+    if not names:
+        names = list(_QUICK_REPORT)
+        if args.quick:
+            names += ["fig5", "fig6", "fig7"]
+    elif names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    sections = [
+        "# CCF experiment report",
+        "",
+        "Reproduction of Cheng et al., *A Coflow-based Co-optimization "
+        "Framework for High-performance Data Analytics* (ICPP 2017).",
+        "",
+    ]
+    for name in names:
+        print(f"running {name} ...", flush=True)
+        if name in _CONFIGURABLE and args.quick:
+            cfg = SweepConfig(scale_factor=_QUICK_SCALE, n_nodes=_QUICK_NODES)
+            table = _CONFIGURABLE[name](cfg)
+        else:
+            table = run_experiment(name)
+        sections += [f"## {name}", "", table.to_markdown(), ""]
+    Path(args.out).write_text("\n".join(sections))
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    """Generate a synthetic trace in JSON or CoflowSim format."""
+    from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+    cfg = CoflowMixConfig(
+        n_ports=args.ports,
+        n_coflows=args.coflows,
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+    )
+    coflows = generate_coflow_mix(cfg)
+    if args.format == "json":
+        from repro.network.io import save_coflows
+
+        save_coflows(coflows, args.out)
+    else:
+        from repro.network.coflowsim_trace import write_coflowsim_trace
+
+        try:
+            write_coflowsim_trace(coflows, args.out, n_ports=args.ports)
+        except ValueError as exc:
+            print(f"cannot express trace in CoflowSim format: {exc}",
+                  file=sys.stderr)
+            return 1
+    print(
+        f"wrote {len(coflows)} coflows over {args.ports} ports to {args.out} "
+        f"({args.format})"
+    )
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    """Simulate a coflow JSON file and print the Gantt chart."""
+    from repro.network.fabric import Fabric
+    from repro.network.io import load_coflows
+    from repro.network.schedulers import make_scheduler
+    from repro.network.simulator import CoflowSimulator
+    from repro.network.visualize import gantt
+
+    coflows = load_coflows(args.coflow_file)
+    if not coflows:
+        print("no coflows in file", file=sys.stderr)
+        return 1
+    n_ports = max(c.max_port for c in coflows) + 1
+    sim = CoflowSimulator(
+        Fabric(n_ports=n_ports, rate=args.rate), make_scheduler(args.scheduler)
+    )
+    res = sim.run(coflows)
+    names = {
+        (c.coflow_id if c.coflow_id >= 0 else i): (c.name or f"cf{i}")
+        for i, c in enumerate(coflows)
+    }
+    print(f"scheduler={args.scheduler}, {len(coflows)} coflows, "
+          f"{n_ports} ports")
+    print(gantt(res, names=names, width=args.width))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "plan":
+        return _cmd_plan(args)
+
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+
+    if args.command == "report":
+        return _cmd_report(args)
+
+    if args.command == "trace-gen":
+        return _cmd_trace_gen(args)
+
+    if args.command == "gantt":
+        return _cmd_gantt(args)
+
+    if args.command == "verify":
+        from repro.experiments.paper_check import run_paper_check
+
+        table = run_paper_check(
+            scale_factor=args.scale_factor, n_nodes=args.nodes
+        )
+        print(table.render())
+        return 0 if "FAIL" not in table.column("verdict") else 1
+
+    name = args.experiment
+    if name in _CONFIGURABLE and (args.quick or args.scale_factor or args.nodes):
+        cfg = SweepConfig()
+        if args.quick:
+            cfg.scale_factor = _QUICK_SCALE
+            cfg.n_nodes = _QUICK_NODES
+        if args.scale_factor is not None:
+            cfg.scale_factor = args.scale_factor
+        if args.nodes is not None:
+            cfg.n_nodes = args.nodes
+        table = _CONFIGURABLE[name](cfg)
+    else:
+        table = run_experiment(name)
+
+    if args.csv:
+        print(table.to_csv(), end="")
+    elif args.markdown:
+        print(table.to_markdown())
+    else:
+        print(table.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

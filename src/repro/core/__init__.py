@@ -1,0 +1,62 @@
+"""Core CCF: the paper's co-optimization model, algorithms and framework.
+
+* :mod:`repro.core.model` -- the shuffle model (chunk matrix ``h[i,k]``,
+  initial flows ``v0``) and plan evaluation (models (1)->(3) of the paper).
+* :mod:`repro.core.strategies` -- application-level baselines: ``Hash``
+  (hash-based join) and ``Mini`` (per-partition traffic minimizer, the
+  track-join-style strategy).
+* :mod:`repro.core.heuristic` -- Algorithm 1, the fast greedy CCF solver.
+* :mod:`repro.core.exact` -- the exact MILP formulation (model (3)).
+* :mod:`repro.core.skew` -- partial-duplication skew handling (§III-C).
+* :mod:`repro.core.framework` -- the CCF orchestrator (Fig. 3): workload
+  -> (skew pre-processing) -> strategy -> execution plan -> coflow.
+"""
+
+from repro.core.exact import ExactResult, ccf_exact
+from repro.core.framework import CCF, PlanComparison
+from repro.core.heuristic import ccf_heuristic, ccf_heuristic_reference
+from repro.core.incremental import IncrementalPlanner
+from repro.core.localsearch import RefinementResult, refine_assignment
+from repro.core.model import PlanMetrics, ShuffleModel
+from repro.core.multi import ConcurrentPlan, merge_models, plan_concurrent
+from repro.core.online import OnlineCCF
+from repro.core.plan import ExecutionPlan
+from repro.core.predictor import PredictedCCTs, predict_ccts
+from repro.core.relax import LPRoundingResult, ccf_lp_rounding
+from repro.core.skew import PartialDuplication, SkewHandlingResult
+from repro.core.strategies import (
+    STRATEGIES,
+    hash_assignment,
+    mini_assignment,
+)
+from repro.core.topology_aware import ccf_heuristic_topology, evaluate_on_topology
+
+__all__ = [
+    "CCF",
+    "ConcurrentPlan",
+    "ExactResult",
+    "ExecutionPlan",
+    "IncrementalPlanner",
+    "LPRoundingResult",
+    "OnlineCCF",
+    "PartialDuplication",
+    "PlanComparison",
+    "PlanMetrics",
+    "STRATEGIES",
+    "ShuffleModel",
+    "SkewHandlingResult",
+    "ccf_exact",
+    "ccf_heuristic",
+    "ccf_heuristic_reference",
+    "ccf_heuristic_topology",
+    "ccf_lp_rounding",
+    "evaluate_on_topology",
+    "hash_assignment",
+    "merge_models",
+    "mini_assignment",
+    "plan_concurrent",
+    "PredictedCCTs",
+    "predict_ccts",
+    "RefinementResult",
+    "refine_assignment",
+]

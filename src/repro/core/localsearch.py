@@ -1,0 +1,157 @@
+"""Local-search refinement of assignments (beyond the paper).
+
+Algorithm 1 is a one-pass greedy; property testing surfaced small
+instances where it lands above both baselines.  This module adds a
+classical polish: single-partition *move* local search.  Repeatedly, the
+partition moves that most reduce the bottleneck ``T`` are applied until
+no single move improves -- a 2-approximation-style cleanup that provably
+never hurts, typically closes the greedy's gap on adversarial instances,
+and costs O(rounds * n * p) vectorized work.
+
+The search exploits the same incremental structure as the heuristic:
+moving partition ``k`` from ``a`` to ``b`` changes only
+``send[a] += h[a,k]``, ``send[b] -= h[b,k]``, ``recv[a] -= S_k - h[a,k]``
+and ``recv[b] += S_k - h[b,k]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.heuristic import _top2
+from repro.core.model import ShuffleModel
+
+__all__ = ["refine_assignment", "RefinementResult"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of local search.
+
+    Attributes
+    ----------
+    dest:
+        The refined assignment.
+    initial_t, final_t:
+        Bottleneck bytes before and after.
+    moves:
+        Number of improving moves applied.
+    """
+
+    dest: np.ndarray
+    initial_t: float
+    final_t: float
+    moves: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative reduction of ``T`` (0 when already locally optimal)."""
+        if self.initial_t == 0:
+            return 0.0
+        return (self.initial_t - self.final_t) / self.initial_t
+
+
+def _loads(model: ShuffleModel, dest: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    m = model.evaluate(dest)
+    return m.send_loads.copy(), m.recv_loads.copy()
+
+
+def refine_assignment(
+    model: ShuffleModel,
+    dest: np.ndarray,
+    *,
+    max_moves: int = 10_000,
+) -> RefinementResult:
+    """Hill-climb on ``T`` with single-partition moves.
+
+    Parameters
+    ----------
+    model:
+        The shuffle model.
+    dest:
+        Starting assignment (any strategy's output); not modified.
+    max_moves:
+        Safety cap on the number of applied moves.
+    """
+    dest = model.validate_assignment(dest).copy()
+    h = model.h
+    n, p = model.n, model.p
+    if p == 0 or n == 1:
+        t0 = model.evaluate(dest).bottleneck_bytes
+        return RefinementResult(dest=dest, initial_t=t0, final_t=t0, moves=0)
+
+    sizes = model.partition_sizes
+    send, recv = _loads(model, dest)
+    initial_t = float(max(send.max(), recv.max()))
+    current_t = initial_t
+    moves = 0
+
+    for _ in range(max_moves):
+        # Only moves touching a bottleneck port can reduce T; gather the
+        # partitions involved with the current bottleneck.
+        bottleneck = current_t
+        hot_send = np.flatnonzero(send >= bottleneck - 1e-9)
+        hot_recv = np.flatnonzero(recv >= bottleneck - 1e-9)
+        cand_parts: set[int] = set()
+        for i in hot_send:
+            # i sends every partition it holds but wasn't assigned.
+            cand_parts.update(
+                np.flatnonzero((h[i] > 0) & (dest != i)).tolist()
+            )
+        for j in hot_recv:
+            cand_parts.update(np.flatnonzero(dest == j).tolist())
+        if not cand_parts:
+            break
+
+        best: tuple[float, int, int] | None = None
+        for k in cand_parts:
+            a = dest[k]
+            col = h[:, k]
+            s_k = sizes[k]
+            # Loads with partition k unassigned: every holder stops
+            # sending its chunk (a never sent its own), a stops receiving.
+            send_wo = send - col
+            send_wo[a] += col[a]
+            recv_wo = recv.copy()
+            recv_wo[a] -= s_k - col[a]
+
+            # Assigning k to b: send loads become send_wo + col except
+            # entry b (kept local); only recv[b] changes on the recv side.
+            base = send_wo + col
+            m1, a1, m2 = _top2(base)
+            max_send = np.full(n, m1)
+            max_send[a1] = max(m2, send_wo[a1])
+
+            r1, b1, r2 = _top2(recv_wo)
+            max_recv_others = np.full(n, r1)
+            max_recv_others[b1] = r2
+            recv_cand = recv_wo + (s_k - col)
+
+            t_b = np.maximum(max_send, np.maximum(max_recv_others, recv_cand))
+            t_b[a] = np.inf  # staying put is not a move
+            b = int(t_b.argmin())
+            if best is None or t_b[b] < best[0]:
+                best = (float(t_b[b]), k, b)
+
+        if best is None or best[0] >= current_t - 1e-9:
+            break
+        _, k, b = best
+        a = dest[k]
+        col = h[:, k]
+        s_k = sizes[k]
+        send[a] += col[a]
+        send[b] -= col[b]
+        recv[a] -= s_k - col[a]
+        recv[b] += s_k - col[b]
+        dest[k] = b
+        current_t = float(max(send.max(), recv.max()))
+        moves += 1
+    else:  # pragma: no cover - loop guard
+        pass
+
+    final_t = model.evaluate(dest).bottleneck_bytes
+    return RefinementResult(
+        dest=dest, initial_t=initial_t, final_t=final_t, moves=moves
+    )

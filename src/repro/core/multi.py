@@ -1,0 +1,133 @@
+"""Concurrent co-optimization of several operators sharing the fabric.
+
+The paper's architecture runs a job's operators sequentially, but real
+analytical engines overlap independent operators (different queries,
+different stages).  When K shuffles run *simultaneously* on a
+non-blocking switch and finish together, the bandwidth-optimal makespan
+is again ``max port load / rate`` -- now over the **sum** of the
+operators' loads.  That makes joint planning exactly equivalent to
+solving one merged model whose chunk matrix is the column-wise
+concatenation of the operators' matrices, so Algorithm 1 (or the exact
+MILP) applies unchanged.
+
+``plan_concurrent`` performs the merge, solves once, splits the
+assignment back per operator, and reports both the per-operator metrics
+and the joint makespan.  Independent (oblivious) planning can collide on
+ports; the merged plan cannot be worse than the best independent plan on
+the crafted workloads in the tests, and is often strictly better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.framework import CCF
+from repro.core.model import ShuffleModel
+from repro.core.plan import ExecutionPlan
+
+__all__ = ["ConcurrentPlan", "plan_concurrent", "merge_models", "joint_makespan"]
+
+
+def merge_models(models: list[ShuffleModel]) -> ShuffleModel:
+    """Concatenate operators into one co-optimization instance.
+
+    All models must agree on node count and rate.  Initial flows and
+    residual loads add; ``local_bytes_pre`` accumulates.
+    """
+    if not models:
+        raise ValueError("need at least one model")
+    n = models[0].n
+    rate = models[0].rate
+    for m in models:
+        if m.n != n:
+            raise ValueError("models span different node counts")
+        if m.rate != rate:
+            raise ValueError("models disagree on port rate")
+    return ShuffleModel(
+        h=np.concatenate([m.h for m in models], axis=1),
+        v0=sum((m.v0 for m in models), np.zeros((n, n))),
+        rate=rate,
+        local_bytes_pre=sum(m.local_bytes_pre for m in models),
+        name="+".join(filter(None, (m.name for m in models))) or "merged",
+        extra_send=sum((m.extra_send for m in models), np.zeros(n)),
+        extra_recv=sum((m.extra_recv for m in models), np.zeros(n)),
+    )
+
+
+def joint_makespan(plans: list[ExecutionPlan]) -> float:
+    """Bandwidth-optimal makespan of several shuffles running together.
+
+    All plans must share the rate; the makespan is the max summed port
+    load over the rate.
+    """
+    if not plans:
+        return 0.0
+    rate = plans[0].model.rate
+    n = max(p.model.n for p in plans)
+    send = np.zeros(n)
+    recv = np.zeros(n)
+    for p in plans:
+        if p.model.rate != rate:
+            raise ValueError("plans disagree on port rate")
+        m = p.metrics
+        send[: p.model.n] += m.send_loads
+        recv[: p.model.n] += m.recv_loads
+    return float(max(send.max(), recv.max()) / rate)
+
+
+@dataclass
+class ConcurrentPlan:
+    """Joint plan for K concurrent operators.
+
+    Attributes
+    ----------
+    plans:
+        One :class:`ExecutionPlan` per input model (same order).
+    makespan_seconds:
+        Bandwidth-optimal completion time of all shuffles together.
+    """
+
+    plans: list[ExecutionPlan]
+    makespan_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __getitem__(self, i: int) -> ExecutionPlan:
+        return self.plans[i]
+
+
+def plan_concurrent(
+    models: list[ShuffleModel],
+    *,
+    strategy: str = "ccf",
+    ccf: CCF | None = None,
+) -> ConcurrentPlan:
+    """Jointly plan K operators that will share the fabric.
+
+    The merged instance is solved once with ``strategy``; the assignment
+    is split back so each operator gets its own plan (whose metrics are
+    its *own* loads -- the joint makespan is reported separately).
+    """
+    ccf = ccf or CCF()
+    merged = merge_models(models)
+    merged_plan = ccf.plan(merged, strategy)
+
+    plans: list[ExecutionPlan] = []
+    offset = 0
+    for m in models:
+        dest = merged_plan.dest[offset: offset + m.p]
+        offset += m.p
+        plans.append(
+            ExecutionPlan(
+                model=m,
+                dest=dest,
+                strategy=f"{strategy}-concurrent",
+                solve_seconds=merged_plan.solve_seconds,
+            )
+        )
+    return ConcurrentPlan(
+        plans=plans, makespan_seconds=joint_makespan(plans)
+    )

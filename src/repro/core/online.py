@@ -1,0 +1,162 @@
+"""Online co-optimization: planning against in-flight shuffles.
+
+The paper assumes every flow of an operator starts together, and notes
+(§II-B, footnote 1) that the framework "can be extended to online ...
+cases very easily" because it is built on the coflow abstraction.  This
+module performs that extension: a sequence of operators arrives over
+time, and each new operator is planned with Algorithm 1 against *initial
+port loads* equal to the residual bytes of the shuffles still in flight.
+
+The residual model assumes the data plane runs each coflow with MADD
+(all flows of a coflow finish together at its bottleneck time ``T``), so
+a port loaded with ``L`` bytes at submission drains linearly and carries
+``L * max(0, 1 - (t - t0) / T)`` residual bytes at time ``t``.  This is
+exactly the schedule the paper's bandwidth-based model prescribes, and it
+keeps the online planner closed-form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.framework import CCF, ShuffleWorkload
+from repro.core.model import ShuffleModel
+from repro.core.plan import ExecutionPlan
+
+__all__ = ["OnlineCCF", "InFlightShuffle"]
+
+
+@dataclass
+class InFlightShuffle:
+    """Book-keeping for a previously submitted shuffle."""
+
+    submit_time: float
+    duration: float  # bandwidth-optimal CCT in seconds
+    send_loads: np.ndarray
+    recv_loads: np.ndarray
+
+    def residual(self, now: float) -> tuple[np.ndarray, np.ndarray]:
+        """(send, recv) bytes still outstanding at time ``now``."""
+        if self.duration <= 0:
+            frac = 0.0
+        else:
+            frac = max(0.0, 1.0 - (now - self.submit_time) / self.duration)
+        return self.send_loads * frac, self.recv_loads * frac
+
+    def finished(self, now: float) -> bool:
+        return now >= self.submit_time + self.duration
+
+
+class OnlineCCF:
+    """CCF front-end that tracks fabric occupancy across submissions.
+
+    Parameters
+    ----------
+    n_nodes:
+        Fabric size; all submitted workloads must match it.
+    ccf:
+        The underlying (offline) framework used for each plan.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.online import OnlineCCF
+    >>> from repro.core.model import ShuffleModel
+    >>> online = OnlineCCF(n_nodes=3)
+    >>> m = ShuffleModel(h=np.array([[4., 4.], [4., 4.], [0., 0.]]), rate=1.0)
+    >>> plan = online.submit(m, time=0.0)     # plans against an idle fabric
+    >>> len(online.in_flight(0.0))            # its shuffle is now in flight
+    1
+    """
+
+    def __init__(self, n_nodes: int, *, ccf: CCF | None = None) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self.ccf = ccf or CCF()
+        self._history: list[InFlightShuffle] = []
+        self._last_time = 0.0
+
+    def in_flight(self, now: float) -> list[InFlightShuffle]:
+        """Shuffles not yet drained at time ``now``."""
+        return [s for s in self._history if not s.finished(now)]
+
+    def residual_loads(self, now: float) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate outstanding (send, recv) bytes per port at ``now``."""
+        send = np.zeros(self.n_nodes)
+        recv = np.zeros(self.n_nodes)
+        for s in self.in_flight(now):
+            ds, dr = s.residual(now)
+            send += ds
+            recv += dr
+        return send, recv
+
+    def _occupied_model(self, model: ShuffleModel, now: float) -> ShuffleModel:
+        """Fold the residual port loads into the model.
+
+        Residuals are per-port totals with no pairwise structure, so they
+        enter as the model's ``extra_send`` / ``extra_recv`` vectors --
+        tightening constraints (3.1)/(3.2) exactly, without polluting the
+        operator's own volume matrix.
+        """
+        send, recv = self.residual_loads(now)
+        if not send.any() and not recv.any():
+            return model
+        return ShuffleModel(
+            h=model.h,
+            v0=model.v0,
+            rate=model.rate,
+            local_bytes_pre=model.local_bytes_pre,
+            name=model.name,
+            extra_send=model.extra_send + send,
+            extra_recv=model.extra_recv + recv,
+        )
+
+    def submit(
+        self,
+        workload: ShuffleWorkload | ShuffleModel,
+        *,
+        time: float,
+        strategy: str = "ccf",
+    ) -> ExecutionPlan:
+        """Plan a new operator at ``time`` against the occupied fabric.
+
+        Returns a plan computed on the *occupied* model (its metrics count
+        the in-flight bytes as initial flows); the plan's assignment is
+        applied to the operator's own traffic.  Submissions must be in
+        non-decreasing time order.
+        """
+        if time < self._last_time:
+            raise ValueError(
+                f"submissions must be time-ordered: {time} < {self._last_time}"
+            )
+        self._last_time = time
+
+        base = self.ccf.model_for(workload, strategy)
+        if base.n != self.n_nodes:
+            raise ValueError(
+                f"workload spans {base.n} nodes, fabric has {self.n_nodes}"
+            )
+        occupied = self._occupied_model(base, time)
+        plan = self.ccf.plan(occupied, strategy)
+
+        # Record this shuffle's own loads (without the synthetic residuals)
+        # for future submissions.
+        own = base.evaluate(plan.dest)
+        duration = own.bottleneck_bytes / base.rate
+        self._history.append(
+            InFlightShuffle(
+                submit_time=time,
+                duration=duration,
+                send_loads=own.send_loads,
+                recv_loads=own.recv_loads,
+            )
+        )
+        return plan
+
+    def reset(self) -> None:
+        """Forget all in-flight state."""
+        self._history.clear()
+        self._last_time = 0.0

@@ -1,0 +1,83 @@
+"""Execution plans: an assignment bundled with its evaluation.
+
+The schedule/control layer of CCF (paper Fig. 3) hands the data-processing
+layer an *execution plan*: the destination of every partition plus the flow
+volumes the plan induces.  :class:`ExecutionPlan` is that hand-off object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import PlanMetrics, ShuffleModel
+from repro.network.flow import Coflow
+
+__all__ = ["ExecutionPlan"]
+
+
+@dataclass
+class ExecutionPlan:
+    """A fully-evaluated partition-to-node assignment.
+
+    Parameters
+    ----------
+    model:
+        The shuffle model the plan was computed for.
+    dest:
+        ``dest[k]`` is the node that receives partition ``k``.
+    strategy:
+        Name of the strategy that produced the plan (``hash`` / ``mini`` /
+        ``ccf`` / ``ccf-exact`` / custom).
+    solve_seconds:
+        Wall-clock time spent computing the assignment (the scheduling
+        overhead the paper's §III-B worries about).
+    """
+
+    model: ShuffleModel
+    dest: np.ndarray
+    strategy: str = ""
+    solve_seconds: float = 0.0
+    _metrics: PlanMetrics | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.dest = self.model.validate_assignment(self.dest)
+
+    @property
+    def metrics(self) -> PlanMetrics:
+        """Lazy, cached evaluation of the plan."""
+        if self._metrics is None:
+            self._metrics = self.model.evaluate(self.dest)
+        return self._metrics
+
+    @property
+    def traffic(self) -> float:
+        """Bytes crossing the network under this plan."""
+        return self.metrics.traffic
+
+    @property
+    def cct(self) -> float:
+        """Bandwidth-optimal coflow completion time in seconds."""
+        return self.metrics.cct
+
+    @property
+    def bottleneck_bytes(self) -> float:
+        """The paper's objective ``T`` in bytes."""
+        return self.metrics.bottleneck_bytes
+
+    def to_coflow(self, *, arrival_time: float = 0.0) -> Coflow:
+        """The plan's shuffle as a coflow, ready for the simulator."""
+        return self.model.to_coflow(
+            self.dest, arrival_time=arrival_time, name=self.strategy
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the plan."""
+        m = self.metrics
+        lines = [
+            f"plan[{self.strategy}] n={self.model.n} p={self.model.p}",
+            f"  {m.summary()}",
+            f"  solve time: {self.solve_seconds * 1e3:.2f} ms",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Application-level scheduling baselines: ``Hash`` and ``Mini``.
+
+These are the two comparison schemes of the paper's evaluation (§IV-A):
+
+* **Hash** -- the classical hash-based join: partition ``k`` goes to node
+  ``k mod n`` (its "responsible" node).  Spreads traffic but ignores both
+  data locality and the network.
+* **Mini** -- minimize network traffic: each partition goes to the node
+  already holding its largest chunk, so the minimum possible number of
+  bytes crosses the network.  This is the strategy class of track-join and
+  other data-management-level optimizers; partitions are independent in
+  the traffic objective, so the greedy per-partition choice is globally
+  optimal for traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import ShuffleModel
+
+__all__ = ["hash_assignment", "mini_assignment", "STRATEGIES"]
+
+
+def hash_assignment(model: ShuffleModel) -> np.ndarray:
+    """``dest[k] = k mod n`` -- the paper's Hash baseline."""
+    return (np.arange(model.p, dtype=np.int64) % model.n).astype(np.int64)
+
+
+def mini_assignment(model: ShuffleModel) -> np.ndarray:
+    """Send each partition to the node holding its largest chunk.
+
+    Ties break toward the lowest node index (numpy ``argmax`` semantics),
+    which matches the paper's observation that under a uniform (zipf = 0)
+    distribution Mini degenerates to flushing everything to one node.
+    """
+    if model.p == 0:
+        return np.empty(0, dtype=np.int64)
+    return model.h.argmax(axis=0).astype(np.int64)
+
+
+#: Registry of application-level strategies by name.  The CCF strategies
+#: live in :mod:`repro.core.heuristic` / :mod:`repro.core.exact` and are
+#: registered by :mod:`repro.core.framework`.
+STRATEGIES = {
+    "hash": hash_assignment,
+    "mini": mini_assignment,
+}

@@ -1,0 +1,22 @@
+"""The paper's evaluation, reproducible end to end.
+
+Each experiment mirrors one artifact of the paper (§IV):
+
+===================  =================================================
+``motivating``       Fig. 1 + Fig. 2 (schedule plans and their CCTs)
+``fig5``             Fig. 5 -- sweep over the number of nodes
+``fig6``             Fig. 6 -- sweep over the Zipf factor
+``fig7``             Fig. 7 -- sweep over the skewness
+``solver``           §III-B -- exact MILP vs heuristic scaling & gap
+``ablation-sched``   coflow-scheduler comparison (Varys/Aalo/baselines)
+``ablation-heuristic``  Algorithm 1 design-choice ablation
+===================  =================================================
+
+Run them via :func:`repro.experiments.registry.run_experiment`, the
+``ccf`` CLI, or the per-figure benches under ``benchmarks/``.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.tables import ResultTable
+
+__all__ = ["EXPERIMENTS", "ResultTable", "run_experiment"]

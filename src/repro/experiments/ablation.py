@@ -1,0 +1,111 @@
+"""Ablation studies: scheduler disciplines and Algorithm 1 design choices.
+
+Two studies beyond the paper's headline figures:
+
+* **Scheduler ablation** -- the same CCF plan executed under every
+  discipline of the simulator (fair sharing, FIFO, SCF, NCF, SEBF,
+  D-CLAS, sequential) on a multi-coflow workload, quantifying how much of
+  CCF's win survives a non-optimal network layer (paper §II-C's point in
+  reverse).
+* **Heuristic ablation** -- Algorithm 1 with its two design choices
+  toggled: the descending-size partition ordering (line 1) and the
+  locality tie-break (our addition, DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.framework import CCF
+from repro.core.heuristic import ccf_heuristic
+from repro.experiments.tables import ResultTable
+from repro.network.fabric import Fabric
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+__all__ = ["run_scheduler_ablation", "run_heuristic_ablation"]
+
+ALL_SCHEDULERS = ("fair", "wss", "fifo", "scf", "ncf", "sebf", "dclas", "sequential")
+
+
+def run_scheduler_ablation(
+    *,
+    n_nodes: int = 20,
+    scale_factor: float = 0.5,
+    n_jobs: int = 4,
+    inter_arrival: float = 2.0,
+    schedulers: Sequence[str] = ALL_SCHEDULERS,
+    strategies: Sequence[str] = ("hash", "mini", "ccf"),
+) -> ResultTable:
+    """Average CCT of a stream of join coflows under each discipline.
+
+    ``n_jobs`` identical joins (one per strategy column) arrive
+    ``inter_arrival`` seconds apart, contending for the fabric -- the
+    online scenario Varys/Aalo target.  The ``sequential`` column shows
+    the uncoordinated worst case.
+    """
+    ccf = CCF()
+    table = ResultTable(
+        title="Scheduler ablation: average CCT (s) of a coflow stream",
+        columns=["strategy", *schedulers],
+    )
+    for strategy in strategies:
+        wl = AnalyticJoinWorkload(
+            n_nodes=n_nodes, scale_factor=scale_factor, partitions=4 * n_nodes
+        )
+        plan = ccf.plan(wl, strategy)
+        fabric = Fabric(n_ports=n_nodes, rate=plan.model.rate)
+        row: list = [strategy]
+        for sched in schedulers:
+            coflows = [
+                plan.to_coflow(arrival_time=j * inter_arrival)
+                for j in range(n_jobs)
+            ]
+            sim = CoflowSimulator(fabric, make_scheduler(sched))
+            res = sim.run(coflows)
+            row.append(res.average_cct)
+        table.add_row(*row)
+    table.add_note(
+        f"{n_jobs} identical join coflows arriving every {inter_arrival}s"
+    )
+    return table
+
+
+def run_heuristic_ablation(
+    *,
+    n_nodes: int = 60,
+    partitions: int = 900,
+    seed: int = 7,
+) -> ResultTable:
+    """Algorithm 1 with sorting / locality tie-break toggled.
+
+    Uses a heterogeneous workload (log-normal chunk sizes with many empty
+    chunks) -- on the paper's statistically uniform workload every
+    partition looks alike and the toggles cannot bind.
+    """
+    from repro.workloads.synthetic import lognormal_workload
+
+    model = lognormal_workload(n_nodes, partitions, seed=seed)
+    table = ResultTable(
+        title="Algorithm 1 ablation: partition ordering and locality tie-break",
+        columns=["sort_partitions", "locality_tiebreak", "T_gb", "cct_s", "traffic_gb"],
+    )
+    for sort_partitions in (True, False):
+        for locality in (True, False):
+            dest = ccf_heuristic(
+                model,
+                sort_partitions=sort_partitions,
+                locality_tiebreak=locality,
+            )
+            m = model.evaluate(dest)
+            table.add_row(
+                sort_partitions,
+                locality,
+                m.bottleneck_bytes / 1e9,
+                m.cct,
+                m.traffic / 1e9,
+            )
+    return table

@@ -1,0 +1,212 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Three studies exercising the future-work directions the paper names
+(§VI: more complex workloads and computing environments) plus the
+scheduler substrate on its home turf:
+
+* ``trace``    -- coflow disciplines on a Facebook-style synthetic trace
+  (the workload Varys/Aalo evaluate on), with slowdown/fairness/deadline
+  statistics.
+* ``online``   -- OnlineCCF (planning against in-flight shuffles) versus
+  an oblivious planner on a bursty stream of operators.
+* ``topology`` -- flat versus topology-aware Algorithm 1 over an
+  oversubscription sweep (the RAPIER-flavoured extension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import CCF
+from repro.core.model import ShuffleModel
+from repro.core.online import OnlineCCF
+from repro.core.topology_aware import ccf_heuristic_topology, evaluate_on_topology
+from repro.experiments.tables import ResultTable
+from repro.network.analysis import analyze
+from repro.network.fabric import Fabric
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.network.topology import TwoLevelTopology
+from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+__all__ = ["run_trace_schedulers", "run_online_vs_oblivious", "run_topology_sweep"]
+
+
+def run_trace_schedulers(
+    *,
+    n_ports: int = 40,
+    n_coflows: int = 120,
+    arrival_rate: float = 2.0,
+    deadline_fraction: float = 0.3,
+    seed: int = 0,
+) -> ResultTable:
+    """Coflow disciplines on the synthetic Facebook-style trace."""
+    cfg = CoflowMixConfig(
+        n_ports=n_ports,
+        n_coflows=n_coflows,
+        arrival_rate=arrival_rate,
+        deadline_fraction=deadline_fraction,
+        seed=seed,
+    )
+    coflows = generate_coflow_mix(cfg)
+    fabric = Fabric(n_ports=n_ports)
+    table = ResultTable(
+        title="Coflow disciplines on a Facebook-style trace",
+        columns=[
+            "scheduler",
+            "avg_cct_s",
+            "p95_cct_s",
+            "avg_slowdown",
+            "fairness",
+            "deadline_hit_%",
+        ],
+    )
+    for name in ("fair", "fifo", "scf", "ncf", "sebf", "dclas", "deadline"):
+        sim = CoflowSimulator(fabric, make_scheduler(name))
+        res = sim.run(coflows)
+        rep = analyze(res, coflows, fabric)
+        hit = (
+            100 * rep.deadline_hit_rate
+            if not np.isnan(rep.deadline_hit_rate)
+            else float("nan")
+        )
+        table.add_row(
+            name,
+            rep.average_cct,
+            rep.p95_cct,
+            rep.average_slowdown,
+            rep.fairness,
+            hit,
+        )
+    table.add_note(
+        f"{n_coflows} coflows, {n_ports} ports, Poisson({arrival_rate}/s) "
+        f"arrivals, {deadline_fraction:.0%} deadline-tagged"
+    )
+    return table
+
+
+def _burst_models(n_nodes: int, n_jobs: int, seed: int) -> list[ShuffleModel]:
+    """Small symmetric operators: few partitions, uniformly resident.
+
+    Each job only needs a handful of receive ports, and every node is an
+    equally good destination in isolation -- so an oblivious planner
+    deterministically picks the same ports for every job (collisions),
+    while the online planner can see they are busy.
+    """
+    rng = np.random.default_rng(seed)
+    models = []
+    p = max(2, n_nodes // 4)
+    for _ in range(n_jobs):
+        size = float(rng.integers(8, 12)) * 1e6
+        h = np.full((n_nodes, p), size)
+        models.append(ShuffleModel(h=h))
+    return models
+
+
+def run_online_vs_oblivious(
+    *,
+    n_nodes: int = 16,
+    n_jobs: int = 6,
+    inter_arrival: float = 0.5,
+    seed: int = 3,
+) -> ResultTable:
+    """OnlineCCF vs an oblivious planner on a bursty operator stream.
+
+    Both plan the same operators at the same arrival instants; all
+    resulting coflows then share the fabric under SEBF.  The online
+    planner sees the residual loads of earlier shuffles and steers new
+    operators away from busy ports.
+    """
+    models = _burst_models(n_nodes, n_jobs, seed)
+    fabric = Fabric(n_ports=n_nodes)
+    table = ResultTable(
+        title="Online co-optimization vs oblivious planning (SEBF data plane)",
+        columns=["planner", "avg_cct_s", "max_cct_s", "makespan_s"],
+    )
+
+    def run(planner: str):
+        coflows = []
+        online = OnlineCCF(n_nodes=n_nodes)
+        for j, model in enumerate(models):
+            t = j * inter_arrival
+            if planner == "online":
+                plan = online.submit(model, time=t)
+            else:
+                plan = CCF().plan(model, "ccf")
+            coflows.append(plan.to_coflow(arrival_time=t))
+        sim = CoflowSimulator(fabric, make_scheduler("sebf"))
+        res = sim.run(coflows)
+        return res
+
+    for planner in ("oblivious", "online"):
+        res = run(planner)
+        table.add_row(planner, res.average_cct, res.max_cct, res.makespan)
+    table.add_note(
+        f"{n_jobs} operators arriving every {inter_arrival}s on "
+        f"{n_nodes} nodes"
+    )
+    return table
+
+
+def run_topology_sweep(
+    *,
+    n_nodes: int = 24,
+    hosts_per_rack: int = 6,
+    oversubscriptions: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    seed: int = 5,
+) -> ResultTable:
+    """Flat vs topology-aware Algorithm 1 under oversubscription.
+
+    Each partition's bytes are mostly spread across its *home rack*, with
+    a single larger chunk on one node in a different rack (think of a
+    remote replica).  The NIC-only objective prefers shipping the home
+    rack's many small chunks to the big remote holder (less traffic, same
+    per-NIC bound), which drags most bytes through the home rack's
+    uplink; the topology-aware greedy keeps the partition at home and
+    only pulls the remote chunk in.
+    """
+    rng = np.random.default_rng(seed)
+    racks = np.arange(n_nodes) // hosts_per_rack
+    p = 4 * n_nodes
+    h = np.zeros((n_nodes, p))
+    n_racks = int(racks.max()) + 1
+    for k in range(p):
+        home = k % n_racks
+        home_nodes = np.flatnonzero(racks == home)
+        away_nodes = np.flatnonzero(racks != home)
+        h[home_nodes, k] = rng.integers(8, 12, home_nodes.size) * 1e6
+        big = away_nodes[rng.integers(0, away_nodes.size)]
+        h[big, k] = float(rng.integers(25, 35)) * 1e6
+    model = ShuffleModel(h=h)
+
+    table = ResultTable(
+        title="Flat vs topology-aware CCF under rack oversubscription",
+        columns=[
+            "oversubscription",
+            "flat_cct_s",
+            "aware_cct_s",
+            "flat_uplink_bound",
+            "aware_uplink_bound",
+        ],
+    )
+    for over in oversubscriptions:
+        topo = TwoLevelTopology(
+            n_hosts=n_nodes,
+            hosts_per_rack=hosts_per_rack,
+            host_rate=model.rate,
+            oversubscription=over,
+        )
+        from repro.core.heuristic import ccf_heuristic
+
+        flat = evaluate_on_topology(model, topo, ccf_heuristic(model))
+        aware = evaluate_on_topology(
+            model, topo, ccf_heuristic_topology(model, topo)
+        )
+        table.add_row(
+            over, flat.cct, aware.cct, flat.uplink_bound, aware.uplink_bound
+        )
+    table.add_note(
+        "home-rack data + one big remote chunk per partition; the aware "
+        "planner keeps partitions at home instead of chasing the big chunk"
+    )
+    return table

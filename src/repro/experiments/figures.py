@@ -1,0 +1,112 @@
+"""Figures 5, 6 and 7: the paper's three evaluation sweeps.
+
+Each sweep compares Hash / Mini / CCF over the TPC-H-derived workload
+(SF 600, ~1 TB, p = 15 n, 128 MB/s ports) and reports the two panels of
+each figure: (a) network traffic in GB and (b) network communication time
+in seconds.  Defaults reproduce the paper's exact sweep points; pass a
+smaller ``scale_factor`` or sweep list for quick runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.framework import CCF, DEFAULT_STRATEGIES
+from repro.experiments.tables import ResultTable
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+__all__ = ["SweepConfig", "run_fig5_nodes", "run_fig6_zipf", "run_fig7_skew"]
+
+#: Paper sweep points.
+FIG5_NODES = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+FIG6_ZIPF = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+FIG7_SKEW = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass
+class SweepConfig:
+    """Shared knobs of the three sweeps (paper defaults)."""
+
+    scale_factor: float = 600.0
+    n_nodes: int = 500
+    zipf_s: float = 0.8
+    skew: float = 0.2
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES
+    ccf: CCF = field(default_factory=CCF)
+
+    def workload(self, **overrides) -> AnalyticJoinWorkload:
+        params = dict(
+            n_nodes=self.n_nodes,
+            scale_factor=self.scale_factor,
+            zipf_s=self.zipf_s,
+            skew=self.skew,
+        )
+        params.update(overrides)
+        return AnalyticJoinWorkload(**params)
+
+
+def _sweep(
+    config: SweepConfig,
+    axis_name: str,
+    axis_values: Sequence,
+    override_key: str,
+    title: str,
+) -> ResultTable:
+    cols = [axis_name]
+    for s in config.strategies:
+        cols += [f"{s}_traffic_gb", f"{s}_cct_s"]
+    table = ResultTable(title=title, columns=cols)
+    for v in axis_values:
+        wl = config.workload(**{override_key: v})
+        cmp = config.ccf.compare(wl, strategies=config.strategies)
+        row = [v]
+        for s in config.strategies:
+            row += [cmp.traffic(s) / 1e9, cmp.cct(s)]
+        table.add_row(*row)
+    return table
+
+
+def run_fig5_nodes(
+    config: SweepConfig | None = None,
+    nodes: Sequence[int] = FIG5_NODES,
+) -> ResultTable:
+    """Figure 5: vary the number of nodes (zipf = 0.8, skew = 20 %)."""
+    config = config or SweepConfig()
+    return _sweep(
+        config,
+        "nodes",
+        nodes,
+        "n_nodes",
+        "Figure 5: traffic (GB) and communication time (s) vs number of nodes",
+    )
+
+
+def run_fig6_zipf(
+    config: SweepConfig | None = None,
+    zipfs: Sequence[float] = FIG6_ZIPF,
+) -> ResultTable:
+    """Figure 6: vary the Zipf factor (500 nodes, skew = 20 %)."""
+    config = config or SweepConfig()
+    return _sweep(
+        config,
+        "zipf",
+        zipfs,
+        "zipf_s",
+        "Figure 6: traffic (GB) and communication time (s) vs Zipf factor",
+    )
+
+
+def run_fig7_skew(
+    config: SweepConfig | None = None,
+    skews: Sequence[float] = FIG7_SKEW,
+) -> ResultTable:
+    """Figure 7: vary the skewness (500 nodes, zipf = 0.8)."""
+    config = config or SweepConfig()
+    return _sweep(
+        config,
+        "skew",
+        skews,
+        "skew",
+        "Figure 7: traffic (GB) and communication time (s) vs skewness",
+    )

@@ -1,0 +1,70 @@
+"""Partition-granularity sweep: why the paper sets p = 15 n.
+
+The number of hash partitions ``p`` is the co-optimizer's control
+resolution: with ``p = n`` each node gets one indivisible partition and
+CCF has almost no room to balance; finer partitioning (the paper: "a
+more fine-grained control on data assignment", p = 15 n) lets Algorithm 1
+approach the fluid optimum.  Hash and Mini barely react -- their rules
+don't exploit the extra freedom.  This sweep quantifies that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.framework import CCF
+from repro.core.model import ShuffleModel
+from repro.experiments.tables import ResultTable
+from repro.workloads.synthetic import clustered_workload
+
+__all__ = ["run_partition_sweep"]
+
+
+def run_partition_sweep(
+    *,
+    n_nodes: int = 40,
+    total_gb: float = 20.0,
+    multipliers: Sequence[int] = (1, 2, 5, 15, 30),
+    holders_per_partition: int = 3,
+    seed: int = 1,
+) -> ResultTable:
+    """CCT of each strategy as p/n grows, total data held fixed.
+
+    Uses the clustered synthetic workload (each partition concentrated on
+    a few holders) -- on the paper's statistically uniform workload every
+    partition is identical and granularity cannot bind.
+    """
+    table = ResultTable(
+        title="Partition granularity: communication time (s) vs p/n",
+        columns=[
+            "p_per_node",
+            "hash_cct_s",
+            "mini_cct_s",
+            "ccf_cct_s",
+            "ccf_solve_ms",
+        ],
+    )
+    ccf = CCF()
+    for mult in multipliers:
+        base = clustered_workload(
+            n_nodes,
+            mult * n_nodes,
+            holders_per_partition=holders_per_partition,
+            seed=seed,
+        )
+        # Same byte mass at every granularity, so CCTs are comparable.
+        h = base.h * (total_gb * 1e9 / base.h.sum())
+        model = ShuffleModel(h=h, rate=base.rate, name=f"p{mult}n")
+        cmp = ccf.compare(model)
+        table.add_row(
+            mult,
+            cmp.cct("hash"),
+            cmp.cct("mini"),
+            cmp.cct("ccf"),
+            cmp["ccf"].solve_seconds * 1e3,
+        )
+    table.add_note(
+        "paper fixes p = 15 n; finer partitioning buys CCF balance room "
+        "at linear solve-time cost"
+    )
+    return table

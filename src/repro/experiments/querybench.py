@@ -1,0 +1,77 @@
+"""Analytical-query benchmark: the paper's future-work workload class.
+
+Runs the three query templates of :mod:`repro.analytics.queries` under
+Hash / Mini / CCF at tuple level and reports per-query communication
+time, traffic and result sizes -- extending the evaluation from a single
+join to whole queries (paper §VI: "extending our framework model to more
+complex workloads (e.g., analytical queries)").
+"""
+
+from __future__ import annotations
+
+from repro.analytics.compile import QueryExecutor
+from repro.analytics.queries import (
+    active_customer_orders,
+    build_tpch_catalog,
+    distinct_buyers,
+    orders_per_customer,
+)
+from repro.experiments.tables import ResultTable
+from repro.workloads.tpch import TPCHConfig
+
+__all__ = ["run_query_suite"]
+
+QUERIES = {
+    "orders_per_customer": orders_per_customer,
+    "active_customer_orders": active_customer_orders,
+    "distinct_buyers": distinct_buyers,
+}
+
+
+def run_query_suite(
+    *,
+    n_nodes: int = 8,
+    scale_factor: float = 0.02,
+    skew: float = 0.2,
+    seed: int = 1,
+    strategies: tuple[str, ...] = ("hash", "mini", "ccf"),
+) -> ResultTable:
+    """Execute every query template under every strategy."""
+    catalog = build_tpch_catalog(
+        TPCHConfig(
+            n_nodes=n_nodes, scale_factor=scale_factor, skew=skew, seed=seed
+        )
+    )
+    executor = QueryExecutor(catalog, skew_factor=50.0)
+    cols = ["query", "rows"]
+    for s in strategies:
+        cols += [f"{s}_comm_s", f"{s}_traffic_mb"]
+    table = ResultTable(
+        title="Analytical queries under Hash / Mini / CCF (tuple level)",
+        columns=cols,
+    )
+    for name, builder in QUERIES.items():
+        row: list = [name]
+        rows_value: int | None = None
+        metrics: list[float] = []
+        for s in strategies:
+            result = executor.execute(builder(), strategy=s)
+            if rows_value is None:
+                rows_value = result.rows
+            elif result.rows != rows_value:
+                raise AssertionError(
+                    f"{name}: strategies disagree on the result "
+                    f"({result.rows} vs {rows_value})"
+                )
+            metrics += [
+                result.total_communication_seconds,
+                result.total_traffic / 1e6,
+            ]
+        row.append(rows_value)
+        row.extend(metrics)
+        table.add_row(*row)
+    table.add_note(
+        f"TPC-H SF {scale_factor} on {n_nodes} nodes, skew {skew:.0%}; "
+        "identical results across strategies are asserted, not assumed"
+    )
+    return table

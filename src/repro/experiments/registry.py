@@ -1,0 +1,55 @@
+"""Experiment registry: one entry per paper artifact."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablation import run_heuristic_ablation, run_scheduler_ablation
+from repro.experiments.crossover import run_broadcast_crossover
+from repro.experiments.extensions import (
+    run_online_vs_oblivious,
+    run_topology_sweep,
+    run_trace_schedulers,
+)
+from repro.experiments.figures import run_fig5_nodes, run_fig6_zipf, run_fig7_skew
+from repro.experiments.motivating import run_motivating
+from repro.experiments.psweep import run_partition_sweep
+from repro.experiments.querybench import run_query_suite
+from repro.experiments.robustness import run_robustness
+from repro.experiments.solver import run_solver_scaling
+from repro.experiments.summary import run_summary
+from repro.experiments.tables import ResultTable
+from repro.experiments.validation import run_model_validation
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: Name -> zero-argument runner returning a ResultTable.
+EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
+    "motivating": run_motivating,
+    "fig5": run_fig5_nodes,
+    "fig6": run_fig6_zipf,
+    "fig7": run_fig7_skew,
+    "solver": run_solver_scaling,
+    "ablation-sched": run_scheduler_ablation,
+    "ablation-heuristic": run_heuristic_ablation,
+    "trace": run_trace_schedulers,
+    "online": run_online_vs_oblivious,
+    "topology": run_topology_sweep,
+    "queries": run_query_suite,
+    "robustness": run_robustness,
+    "validation": run_model_validation,
+    "crossover": run_broadcast_crossover,
+    "psweep": run_partition_sweep,
+    "summary": run_summary,
+}
+
+
+def run_experiment(name: str) -> ResultTable:
+    """Run one registered experiment with paper defaults."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()

@@ -1,0 +1,115 @@
+"""Result tables: the rows/series the paper's figures plot.
+
+A :class:`ResultTable` is a light ordered column store with text and
+markdown renderers, used by every experiment and bench to print the same
+series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["ResultTable"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """Ordered columns of experiment results.
+
+    Parameters
+    ----------
+    title:
+        Table caption (e.g. ``"Figure 5(b): communication time (s)"``).
+    columns:
+        Column names, in display order.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, positionally or by column name."""
+        if values and named:
+            raise ValueError("pass either positional values or named values")
+        if named:
+            missing = set(self.columns) - set(named)
+            if missing:
+                raise ValueError(f"missing columns: {sorted(missing)}")
+            row = [named[c] for c in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows]
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note rendered under the table."""
+        self.notes.append(note)
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [self.columns] + [[_fmt(v) for v in r] for r in self.rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+        lines.append(sep)
+        for row in cells[1:]:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (RFC-4180-style quoting for commas)."""
+
+        def cell(v: Any) -> str:
+            s = str(v)
+            if "," in s or '"' in s or "\n" in s:
+                s = '"' + s.replace('"', '""') + '"'
+            return s
+
+        lines = [",".join(cell(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(cell(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    @staticmethod
+    def render_all(tables: Iterable["ResultTable"]) -> str:
+        """Join several tables with blank lines."""
+        return "\n\n".join(t.render() for t in tables)

@@ -1,0 +1,35 @@
+"""Distributed-operator substrate: relations, partitioning, shuffle, joins.
+
+Implements the data-processing layer under CCF's schedule/control layer
+(paper Fig. 3): distributed relations sharded over nodes, hash
+partitioning into the chunk matrix ``h[i, k]``, shuffle execution for a
+chosen assignment, local hash joins, and the distributed operators the
+paper targets (join, aggregation, duplicate elimination).
+"""
+
+from repro.join.broadcast import BroadcastJoin
+from repro.join.local import join_cardinality, local_hash_join
+from repro.join.outer import DistributedOuterJoin, semijoin_reduction
+from repro.join.operators import (
+    DistributedAggregation,
+    DistributedJoin,
+    DuplicateElimination,
+)
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+from repro.join.shuffle import ShuffleOutcome, execute_shuffle
+
+__all__ = [
+    "BroadcastJoin",
+    "DistributedAggregation",
+    "DistributedJoin",
+    "DistributedOuterJoin",
+    "DistributedRelation",
+    "DuplicateElimination",
+    "HashPartitioner",
+    "ShuffleOutcome",
+    "execute_shuffle",
+    "join_cardinality",
+    "local_hash_join",
+    "semijoin_reduction",
+]

@@ -1,0 +1,131 @@
+"""Broadcast (replication) joins: don't shuffle the big side at all.
+
+When one relation is much smaller than the other, repartitioning both is
+wasteful: replicating the small relation to every node and probing the
+big relation *in place* moves only ``(n - 1) * |small|`` bytes and
+touches none of the big side.  This is the classical broadcast-hash-join
+of distributed databases, and the limit case of partial duplication
+(every key of the small side treated as "skewed").
+
+In CCF terms the broadcast is a shuffle with an empty assignment problem:
+all traffic is initial flows ``v0[i, j] = bytes of the small relation on
+node i``.  The crossover against repartitioning -- broadcast wins when
+``|small| * (n - 1) < traffic_repartition`` -- is exactly what the query
+compiler's cost-based chooser tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import ShuffleModel
+from repro.core.plan import ExecutionPlan
+from repro.join.local import join_cardinality
+from repro.join.relation import DistributedRelation
+from repro.network.fabric import DEFAULT_PORT_RATE
+
+__all__ = ["BroadcastJoin", "BroadcastJoinResult"]
+
+
+@dataclass
+class BroadcastJoinResult:
+    """Outcome of executing a broadcast join."""
+
+    plan: ExecutionPlan
+    cardinality: int
+    per_node_cardinality: np.ndarray
+    realized_traffic: float
+    result: "DistributedRelation | None" = None
+
+
+class BroadcastJoin:
+    """Replicate ``small`` everywhere; probe ``big`` in place.
+
+    Implements the ShuffleWorkload protocol (its model has zero
+    partitions and pure initial flows), so the standard CCF planning /
+    simulation pipeline applies even though there is nothing to assign.
+    """
+
+    def __init__(
+        self,
+        small: DistributedRelation,
+        big: DistributedRelation,
+        *,
+        rate: float = DEFAULT_PORT_RATE,
+        name: str = "broadcast-join",
+    ) -> None:
+        if small.n_nodes != big.n_nodes:
+            raise ValueError("small and big must span the same nodes")
+        self.small = small
+        self.big = big
+        self.rate = rate
+        self.name = name
+
+    @property
+    def n_nodes(self) -> int:
+        return self.small.n_nodes
+
+    def broadcast_traffic(self) -> float:
+        """Bytes the broadcast injects: ``(n - 1) * |small|``."""
+        return float((self.n_nodes - 1) * self.small.total_bytes)
+
+    def shuffle_model(self, *, skew_handling: bool = False) -> ShuffleModel:
+        """Zero-partition model whose v0 is the broadcast."""
+        n = self.n_nodes
+        per_node = self.small.shard_tuples() * self.small.payload_bytes
+        v0 = np.tile(per_node[:, None].astype(float), (1, n))
+        np.fill_diagonal(v0, 0.0)
+        return ShuffleModel(
+            h=np.zeros((n, 0)), v0=v0, rate=self.rate, name=self.name
+        )
+
+    def plan(self) -> ExecutionPlan:
+        """The (trivial) execution plan -- broadcast has no decisions."""
+        model = self.shuffle_model()
+        return ExecutionPlan(
+            model=model,
+            dest=np.zeros(0, dtype=np.int64),
+            strategy="broadcast",
+        )
+
+    def expected_cardinality(self) -> int:
+        return join_cardinality(self.small.all_keys(), self.big.all_keys())
+
+    def execute(self, *, materialize: bool = False) -> BroadcastJoinResult:
+        """Replicate and probe; the big side never moves.
+
+        With ``materialize=True`` the result keys are kept per node (they
+        live where the big side's tuples live).
+        """
+        n = self.n_nodes
+        all_small = self.small.all_keys()
+        per_node = np.array(
+            [
+                join_cardinality(all_small, self.big.shards[i])
+                for i in range(n)
+            ],
+            dtype=np.int64,
+        )
+        result = None
+        if materialize:
+            from repro.join.local import local_hash_join
+
+            shards = [
+                local_hash_join(all_small, self.big.shards[i])
+                for i in range(n)
+            ]
+            result = DistributedRelation(
+                shards=shards,
+                payload_bytes=self.small.payload_bytes + self.big.payload_bytes,
+                name=f"{self.name}-result",
+            )
+        plan = self.plan()
+        return BroadcastJoinResult(
+            plan=plan,
+            cardinality=int(per_node.sum()),
+            per_node_cardinality=per_node,
+            realized_traffic=self.broadcast_traffic(),
+            result=result,
+        )

@@ -1,0 +1,30 @@
+"""Network substrate: coflow abstraction, fabric model, and a flow-level simulator.
+
+This subpackage is a from-scratch substitute for CoflowSim (the Java
+simulator used by Varys and Aalo, and by the CCF paper as the measurement
+back-end).  It provides:
+
+* :mod:`repro.network.flow` -- the ``Flow`` / ``Coflow`` abstraction
+  ([src, dst, volume] triples grouped by job).
+* :mod:`repro.network.fabric` -- the non-blocking-switch fabric model with
+  per-port ingress/egress capacities.
+* :mod:`repro.network.simulator` -- an event-driven fluid-flow simulator
+  that advances rate allocations between discrete events.
+* :mod:`repro.network.schedulers` -- inter-coflow scheduling disciplines:
+  per-flow fair sharing, FIFO, SCF, NCF, SEBF (Varys), D-CLAS (Aalo) and a
+  worst-case sequential schedule used by the paper's motivating example.
+* :mod:`repro.network.topology` -- an optional link-capacity extension
+  (RAPIER-flavoured) beyond the non-blocking switch.
+"""
+
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.simulator import CoflowSimulator, SimulationResult
+
+__all__ = [
+    "Coflow",
+    "CoflowSimulator",
+    "Fabric",
+    "Flow",
+    "SimulationResult",
+]

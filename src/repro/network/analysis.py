@@ -1,0 +1,129 @@
+"""Post-simulation analysis: utilization, slowdown, fairness.
+
+Turns a :class:`~repro.network.simulator.SimulationResult` (plus the
+coflows and fabric that produced it) into the summary statistics the
+coflow literature reports: per-coflow slowdown against the isolated
+optimum, fabric utilization, and Jain's fairness index over CCTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow
+from repro.network.simulator import SimulationResult
+
+__all__ = ["SimulationReport", "analyze", "jain_index"]
+
+
+def jain_index(values: np.ndarray | list[float]) -> float:
+    """Jain's fairness index: 1 = perfectly equal, 1/n = maximally unfair."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return 1.0
+    if (v < 0).any():
+        raise ValueError("values must be non-negative")
+    denom = v.size * (v ** 2).sum()
+    if denom == 0:
+        return 1.0
+    return float(v.sum() ** 2 / denom)
+
+
+@dataclass
+class SimulationReport:
+    """Derived statistics of one simulation run.
+
+    Attributes
+    ----------
+    average_cct, p95_cct:
+        Mean and 95th-percentile coflow completion times (seconds).
+    average_slowdown, max_slowdown:
+        CCT divided by the coflow's isolated bottleneck time; 1.0 means
+        the coflow was never delayed by contention.
+    utilization:
+        Delivered bytes over (makespan x aggregate egress capacity) --
+        how busy the fabric was end to end.
+    fairness:
+        Jain index over per-coflow slowdowns.
+    deadline_hit_rate:
+        Fraction of deadline-tagged coflows finishing on time (NaN when
+        none carry deadlines).
+    """
+
+    average_cct: float
+    p95_cct: float
+    average_slowdown: float
+    max_slowdown: float
+    utilization: float
+    fairness: float
+    deadline_hit_rate: float
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        dl = (
+            f", deadlines {self.deadline_hit_rate:.0%}"
+            if not np.isnan(self.deadline_hit_rate)
+            else ""
+        )
+        return (
+            f"avg CCT {self.average_cct:.2f}s (p95 {self.p95_cct:.2f}s), "
+            f"slowdown {self.average_slowdown:.2f}x "
+            f"(max {self.max_slowdown:.2f}x), "
+            f"util {self.utilization:.0%}, fairness {self.fairness:.2f}{dl}"
+        )
+
+
+def analyze(
+    result: SimulationResult,
+    coflows: list[Coflow],
+    fabric: Fabric,
+) -> SimulationReport:
+    """Compute the report for a finished run.
+
+    Raises ``ValueError`` when a coflow id in ``coflows`` is missing from
+    the result (i.e. the run did not include it).
+    """
+    by_id = {}
+    for i, c in enumerate(coflows):
+        cid = c.coflow_id if c.coflow_id >= 0 else i
+        by_id[cid] = c
+
+    ccts = []
+    slowdowns = []
+    deadline_total = 0
+    deadline_met = 0
+    for cid, cct in result.ccts.items():
+        if cid not in by_id:
+            raise ValueError(f"coflow id {cid} missing from provided coflows")
+        c = by_id[cid]
+        ccts.append(cct)
+        iso = c.bottleneck(fabric.n_ports, float(fabric.egress_rates.min()))
+        if iso > 0:
+            slowdowns.append(cct / iso)
+        if c.deadline is not None:
+            deadline_total += 1
+            if cct <= c.deadline * (1 + 1e-9):
+                deadline_met += 1
+
+    ccts_arr = np.asarray(ccts) if ccts else np.zeros(1)
+    slow = np.asarray(slowdowns) if slowdowns else np.ones(1)
+    capacity = float(fabric.egress_rates.sum())
+    util = (
+        result.total_bytes / (result.makespan * capacity)
+        if result.makespan > 0 and capacity > 0
+        else 0.0
+    )
+    return SimulationReport(
+        average_cct=float(ccts_arr.mean()),
+        p95_cct=float(np.percentile(ccts_arr, 95)),
+        average_slowdown=float(slow.mean()),
+        max_slowdown=float(slow.max()),
+        utilization=float(util),
+        fairness=jain_index(slow),
+        deadline_hit_rate=(
+            deadline_met / deadline_total if deadline_total else float("nan")
+        ),
+    )

@@ -1,0 +1,154 @@
+"""CoflowSim trace-format interoperability.
+
+CoflowSim -- the Java simulator behind Varys, Aalo and the CCF paper's
+evaluation -- consumes text traces in the format of the public Facebook
+trace::
+
+    <numPorts> <numCoflows>
+    <id> <arrivalMillis> <numMappers> <loc...> <numReducers> <loc:MB...>
+
+Each reducer's shuffle volume (in MB) is split equally across the
+coflow's mappers.  This module reads that format into our
+:class:`~repro.network.flow.Coflow` objects and writes traces back out,
+so workloads can flow between this library and the original tool.
+
+Writing is exact for coflows with mapper/reducer structure (every source
+sends the same volume to a given destination); general coflows are
+rejected rather than silently distorted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.flow import Coflow, Flow
+
+__all__ = ["read_coflowsim_trace", "write_coflowsim_trace"]
+
+_MB = 1e6
+
+
+def read_coflowsim_trace(path: str | Path) -> tuple[int, list[Coflow]]:
+    """Parse a CoflowSim trace file.
+
+    Returns ``(n_ports, coflows)``.  Arrival times are converted from
+    milliseconds to seconds, reducer volumes from MB to bytes.
+    """
+    lines = [
+        ln.strip()
+        for ln in Path(path).read_text().splitlines()
+        if ln.strip() and not ln.lstrip().startswith("#")
+    ]
+    if not lines:
+        raise ValueError(f"{path}: empty trace")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise ValueError(f"{path}: malformed header {lines[0]!r}")
+    n_ports, n_coflows = int(header[0]), int(header[1])
+    if len(lines) - 1 != n_coflows:
+        raise ValueError(
+            f"{path}: header promises {n_coflows} coflows, found {len(lines) - 1}"
+        )
+
+    coflows: list[Coflow] = []
+    for ln in lines[1:]:
+        tok = ln.split()
+        pos = 0
+
+        def take() -> str:
+            nonlocal pos
+            if pos >= len(tok):
+                raise ValueError(f"truncated coflow line: {ln!r}")
+            val = tok[pos]
+            pos += 1
+            return val
+
+        cid = int(take())
+        arrival = float(take()) / 1000.0
+        n_mappers = int(take())
+        mappers = [int(take()) for _ in range(n_mappers)]
+        n_reducers = int(take())
+        flows: list[Flow] = []
+        for _ in range(n_reducers):
+            loc_mb = take()
+            if ":" not in loc_mb:
+                raise ValueError(f"malformed reducer token {loc_mb!r} in {ln!r}")
+            loc_s, mb_s = loc_mb.split(":", 1)
+            reducer = int(loc_s)
+            total = float(mb_s) * _MB
+            per_mapper = total / n_mappers
+            for m in mappers:
+                if m != reducer and per_mapper > 0:
+                    flows.append(Flow(src=m, dst=reducer, volume=per_mapper))
+        for port in mappers + [f.dst for f in flows]:
+            if port >= n_ports:
+                raise ValueError(
+                    f"coflow {cid} references port {port} >= {n_ports}"
+                )
+        coflows.append(
+            Coflow(flows=flows, arrival_time=arrival, coflow_id=cid)
+        )
+    return n_ports, coflows
+
+
+def _mapper_reducer_structure(
+    coflow: Coflow,
+) -> tuple[list[int], dict[int, float]]:
+    """Decompose a coflow into (mappers, reducer -> total bytes).
+
+    Requires the coflow to be *equal-split*: every present (src, dst)
+    pair carries the same volume for a given dst, and every mapper sends
+    to every reducer (minus self-loops).  Raises ``ValueError`` otherwise.
+    """
+    mappers = sorted({f.src for f in coflow.flows})
+    reducers: dict[int, dict[int, float]] = {}
+    for f in coflow.flows:
+        reducers.setdefault(f.dst, {})[f.src] = f.volume
+    totals: dict[int, float] = {}
+    for dst, by_src in reducers.items():
+        expected_srcs = [m for m in mappers if m != dst]
+        if sorted(by_src) != expected_srcs:
+            raise ValueError(
+                f"coflow {coflow.coflow_id}: reducer {dst} does not receive "
+                "from every mapper; not representable in CoflowSim format"
+            )
+        vols = np.array(list(by_src.values()))
+        if vols.size and not np.allclose(vols, vols[0], rtol=1e-9):
+            raise ValueError(
+                f"coflow {coflow.coflow_id}: unequal per-mapper volumes at "
+                f"reducer {dst}; not representable in CoflowSim format"
+            )
+        # CoflowSim divides by ALL mappers including a co-located one.
+        totals[dst] = float(vols[0]) * len(mappers) if vols.size else 0.0
+    return mappers, totals
+
+
+def write_coflowsim_trace(
+    coflows: list[Coflow], path: str | Path, *, n_ports: int
+) -> None:
+    """Write coflows in CoflowSim's trace format.
+
+    Only equal-split mapper/reducer coflows are representable; a coflow
+    with irregular structure raises ``ValueError``.
+    """
+    lines = [f"{n_ports} {len(coflows)}"]
+    for i, c in enumerate(coflows):
+        cid = c.coflow_id if c.coflow_id >= 0 else i
+        if c.max_port >= n_ports:
+            raise ValueError(f"coflow {cid} exceeds n_ports={n_ports}")
+        mappers, totals = _mapper_reducer_structure(c)
+        parts = [
+            str(cid),
+            str(int(round(c.arrival_time * 1000))),
+            str(len(mappers)),
+            *[str(m) for m in mappers],
+            str(len(totals)),
+            *[
+                f"{dst}:{totals[dst] / _MB:.6g}"
+                for dst in sorted(totals)
+            ],
+        ]
+        lines.append(" ".join(parts))
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,134 @@
+"""Fabric dynamics: port-rate changes during a simulation.
+
+The paper's long-term goal is a system "robust in the presence of
+different workloads and network configurations" (§VI).  This module lets
+the simulator model the network-configuration half: scheduled changes to
+per-port rates (background traffic stealing bandwidth, degraded links,
+recovering ports).  The fluid simulator splits epochs at every event so
+rate allocations are always computed against the current capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.fabric import Fabric
+
+__all__ = ["RateEvent", "FabricDynamics"]
+
+
+@dataclass(frozen=True)
+class RateEvent:
+    """One scheduled capacity change.
+
+    Parameters
+    ----------
+    time:
+        Simulation time (seconds) the change takes effect.
+    port:
+        Affected port index.
+    egress, ingress:
+        New capacities in bytes/second; ``None`` leaves the direction
+        unchanged.  Capacities must remain strictly positive (a dead port
+        would deadlock flows pinned to it; model failure as severe
+        degradation instead).
+    """
+
+    time: float
+    port: int
+    egress: float | None = None
+    ingress: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be >= 0")
+        if self.port < 0:
+            raise ValueError("port must be non-negative")
+        for v, nm in ((self.egress, "egress"), (self.ingress, "ingress")):
+            if v is not None and v <= 0:
+                raise ValueError(f"{nm} rate must stay strictly positive")
+        if self.egress is None and self.ingress is None:
+            raise ValueError("event must change at least one direction")
+
+
+@dataclass
+class FabricDynamics:
+    """An ordered schedule of :class:`RateEvent` changes."""
+
+    events: list[RateEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate_against(self, fabric: Fabric) -> None:
+        """Check every event references a real port."""
+        for e in self.events:
+            if e.port >= fabric.n_ports:
+                raise ValueError(
+                    f"rate event at t={e.time} references port {e.port} "
+                    f">= fabric size {fabric.n_ports}"
+                )
+
+    def next_event_time(self, now: float) -> float | None:
+        """Earliest event strictly after ``now``, or None."""
+        for e in self.events:
+            if e.time > now + 1e-15:
+                return e.time
+        return None
+
+    def apply_due(self, fabric: Fabric, now: float) -> bool:
+        """Apply all events with ``time <= now`` exactly once.
+
+        Events are consumed (removed from the schedule).  Returns True
+        when any change was applied.
+        """
+        due = [e for e in self.events if e.time <= now + 1e-15]
+        if not due:
+            return False
+        self.events = [e for e in self.events if e.time > now + 1e-15]
+        for e in due:
+            if e.egress is not None:
+                fabric.egress_rates[e.port] = e.egress
+            if e.ingress is not None:
+                fabric.ingress_rates[e.port] = e.ingress
+        return True
+
+    @classmethod
+    def degrade(
+        cls,
+        *,
+        time: float,
+        ports: list[int],
+        factor: float,
+        fabric: Fabric,
+        recover_at: float | None = None,
+    ) -> "FabricDynamics":
+        """Convenience: scale both directions of ``ports`` by ``factor``.
+
+        With ``recover_at`` set, matching events restore the original
+        rates at that time.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be strictly positive")
+        events = []
+        for p in ports:
+            orig_e = float(fabric.egress_rates[p])
+            orig_i = float(fabric.ingress_rates[p])
+            events.append(
+                RateEvent(
+                    time=time, port=p,
+                    egress=orig_e * factor, ingress=orig_i * factor,
+                )
+            )
+            if recover_at is not None:
+                events.append(
+                    RateEvent(
+                        time=recover_at, port=p, egress=orig_e, ingress=orig_i
+                    )
+                )
+        return cls(events=events)

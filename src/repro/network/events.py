@@ -1,0 +1,101 @@
+"""Scheduling context shared between the simulator and the schedulers.
+
+The simulator exposes the state of all *active* (arrived, unfinished) flows
+to the scheduling discipline as flat numpy arrays -- the idiomatic HPC
+representation that lets every discipline run vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.fabric import Fabric
+
+__all__ = ["CoflowProgress", "SchedulingContext"]
+
+
+@dataclass
+class CoflowProgress:
+    """Book-keeping for one coflow during simulation.
+
+    ``sent_bytes`` is the information available to *non-clairvoyant*
+    schedulers (Aalo's D-CLAS prioritizes by it); ``total_volume`` and the
+    per-flow remaining volumes are only consulted by clairvoyant disciplines
+    (SCF, NCF, SEBF).
+    """
+
+    coflow_id: int
+    arrival_time: float
+    total_volume: float
+    width: int
+    name: str = ""
+    sent_bytes: float = 0.0
+    completion_time: float | None = None
+    deadline: float | None = None
+    weight: float = 1.0
+
+    @property
+    def absolute_deadline(self) -> float | None:
+        """Deadline as an absolute simulation time, or None."""
+        if self.deadline is None:
+            return None
+        return self.arrival_time + self.deadline
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_time is not None
+
+
+@dataclass
+class SchedulingContext:
+    """Snapshot of simulator state handed to a scheduler at each epoch.
+
+    All flow-level attributes are parallel arrays of length ``n_flows``
+    covering only active flows.  A scheduler returns an array of rates
+    (bytes/second) aligned with these arrays.
+    """
+
+    time: float
+    fabric: Fabric
+    srcs: np.ndarray
+    dsts: np.ndarray
+    remaining: np.ndarray
+    coflow_ids: np.ndarray
+    progress: dict[int, CoflowProgress] = field(default_factory=dict)
+
+    @property
+    def n_flows(self) -> int:
+        return int(self.srcs.shape[0])
+
+    def active_coflow_ids(self) -> list[int]:
+        """Distinct coflow ids with at least one active flow, ascending."""
+        return [int(c) for c in np.unique(self.coflow_ids)]
+
+    def flows_of(self, coflow_id: int) -> np.ndarray:
+        """Indices (into the flat arrays) of the coflow's active flows."""
+        return np.nonzero(self.coflow_ids == coflow_id)[0]
+
+    def remaining_volume(self, coflow_id: int) -> float:
+        """Total unfinished bytes of one coflow."""
+        return float(self.remaining[self.coflow_ids == coflow_id].sum())
+
+    def remaining_bottleneck(self, coflow_id: int) -> float:
+        """Varys' effective bottleneck Gamma_c of the coflow's remainder.
+
+        Computed against the *full* port capacities (the coflow's intrinsic
+        finishing time if it had the fabric to itself).
+        """
+        idx = self.flows_of(coflow_id)
+        if idx.size == 0:
+            return 0.0
+        n = self.fabric.n_ports
+        send = np.bincount(self.srcs[idx], weights=self.remaining[idx], minlength=n)
+        recv = np.bincount(self.dsts[idx], weights=self.remaining[idx], minlength=n)
+        return float(
+            max(
+                (send / self.fabric.egress_rates).max(),
+                (recv / self.fabric.ingress_rates).max(),
+            )
+        )

@@ -1,0 +1,168 @@
+"""Scheduler interface and shared rate-allocation primitives."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.network.events import SchedulingContext
+
+__all__ = ["CoflowScheduler", "maxmin_fill", "madd_rates"]
+
+
+class CoflowScheduler(ABC):
+    """Base class for inter-coflow scheduling disciplines.
+
+    Subclasses implement :meth:`allocate`, mapping the current simulator
+    state to per-flow rates.  Rates must respect the fabric's per-port
+    ingress/egress capacities; the simulator validates every allocation.
+    """
+
+    #: Registry name; overridden by subclasses.
+    name: str = "base"
+
+    #: Whether the discipline inspects remaining volumes (clairvoyant) or
+    #: only bytes already sent (non-clairvoyant, e.g. Aalo).
+    clairvoyant: bool = True
+
+    @abstractmethod
+    def allocate(self, ctx: SchedulingContext) -> np.ndarray:
+        """Return an array of rates (bytes/s) aligned with ``ctx`` flows."""
+
+    def next_event_hint(
+        self, ctx: SchedulingContext, rates: np.ndarray
+    ) -> float | None:
+        """Upper bound on the epoch length, or ``None`` for no bound.
+
+        The fluid simulator advances between flow completions and coflow
+        arrivals; a discipline whose *priorities* change mid-epoch (e.g.
+        D-CLAS queue transitions as attained service grows) returns the
+        time until its next internal event so the simulator re-invokes it
+        there.
+        """
+        return None
+
+    def reset(self) -> None:
+        """Clear any cross-epoch state (called once per simulation run)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def maxmin_fill(
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    res_out: np.ndarray,
+    res_in: np.ndarray,
+    *,
+    subset: np.ndarray | None = None,
+    rates: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Progressive-filling (weighted) max-min fair allocation.
+
+    Distributes the residual port capacities ``res_out`` / ``res_in``
+    (modified in place) among the flows given by ``subset`` (indices into
+    ``srcs``/``dsts``; all flows when ``None``).  Existing ``rates`` are
+    incremented, supporting use as a backfill pass after a priority pass.
+
+    Progressive filling raises the rate of all unfrozen flows uniformly
+    (or proportionally to ``weights`` -- the weighted max-min of priority
+    classes) until some port saturates, freezes the flows crossing that
+    port, and repeats -- the classical waterfilling algorithm.
+    """
+    n_flows = srcs.shape[0]
+    if rates is None:
+        rates = np.zeros(n_flows)
+    if subset is None:
+        subset = np.arange(n_flows)
+    if subset.size == 0:
+        return rates
+    if weights is None:
+        w_all = np.ones(n_flows)
+    else:
+        w_all = np.asarray(weights, dtype=float)
+        if w_all.shape != (n_flows,):
+            raise ValueError(f"weights must have shape ({n_flows},)")
+        if (w_all <= 0).any():
+            raise ValueError("weights must be strictly positive")
+
+    n_ports = res_out.shape[0]
+    active = np.ones(subset.size, dtype=bool)
+    s_src = srcs[subset]
+    s_dst = dsts[subset]
+    s_w = w_all[subset]
+
+    # Each iteration saturates >= 1 port, so the loop runs <= 2 * n_ports times.
+    while active.any():
+        cnt_out = np.bincount(
+            s_src[active], weights=s_w[active], minlength=n_ports
+        )
+        cnt_in = np.bincount(
+            s_dst[active], weights=s_w[active], minlength=n_ports
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share_out = np.where(cnt_out > 0, res_out / cnt_out, np.inf)
+            share_in = np.where(cnt_in > 0, res_in / cnt_in, np.inf)
+        step = min(share_out.min(), share_in.min())
+        if not np.isfinite(step):  # pragma: no cover - defensive
+            break
+        step = max(step, 0.0)
+        idx = subset[active]
+        rates[idx] += step * s_w[active]
+        res_out -= step * cnt_out
+        res_in -= step * cnt_in
+        np.maximum(res_out, 0.0, out=res_out)
+        np.maximum(res_in, 0.0, out=res_in)
+        # A port is saturated when its residual is (numerically) zero.
+        sat_out = (cnt_out > 0) & (res_out <= 1e-9)
+        sat_in = (cnt_in > 0) & (res_in <= 1e-9)
+        newly_frozen = sat_out[s_src] | sat_in[s_dst]
+        if not (newly_frozen & active).any():
+            break
+        active &= ~newly_frozen
+    return rates
+
+
+def madd_rates(
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    remaining: np.ndarray,
+    res_out: np.ndarray,
+    res_in: np.ndarray,
+    subset: np.ndarray,
+    rates: np.ndarray,
+) -> bool:
+    """Minimum-Allocation-for-Desired-Duration for one coflow (Varys §4).
+
+    Gives every flow of the coflow rate ``remaining / Gamma`` where
+    ``Gamma`` is the coflow's effective bottleneck against the *residual*
+    capacities, so all flows finish together at the earliest possible time
+    without hogging bandwidth.  Updates ``rates`` and the residual arrays in
+    place.  Returns ``False`` when the coflow is blocked (some required port
+    has no residual capacity).
+    """
+    if subset.size == 0:
+        return True
+    n_ports = res_out.shape[0]
+    send = np.bincount(srcs[subset], weights=remaining[subset], minlength=n_ports)
+    recv = np.bincount(dsts[subset], weights=remaining[subset], minlength=n_ports)
+    need_out = send > 0
+    need_in = recv > 0
+    if (res_out[need_out] <= 1e-9).any() or (res_in[need_in] <= 1e-9).any():
+        return False
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gamma = max(
+            (send[need_out] / res_out[need_out]).max(initial=0.0),
+            (recv[need_in] / res_in[need_in]).max(initial=0.0),
+        )
+    if gamma <= 0:
+        return True
+    alloc = remaining[subset] / gamma
+    rates[subset] += alloc
+    res_out -= np.bincount(srcs[subset], weights=alloc, minlength=n_ports)
+    res_in -= np.bincount(dsts[subset], weights=alloc, minlength=n_ports)
+    np.maximum(res_out, 0.0, out=res_out)
+    np.maximum(res_in, 0.0, out=res_in)
+    return True

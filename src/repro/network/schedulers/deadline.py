@@ -1,0 +1,133 @@
+"""Varys' deadline mode: admission control + just-in-time rates.
+
+Varys (§5.3 of the SIGCOMM'14 paper) supports coflows with completion
+deadlines: a coflow is *admitted* only if giving every remaining flow the
+minimum rate that meets the deadline keeps all ports within capacity,
+accounting for the guarantees already handed to admitted coflows.
+Admitted coflows receive exactly those minimum rates (finishing exactly
+at their deadlines unless backfill speeds them up); rejected and
+deadline-less coflows share the leftover bandwidth max-min fairly as
+best-effort traffic.
+
+The admission decision is made once, at the first epoch a coflow is seen
+(its arrival), and is sticky -- matching Varys, where clients are told at
+submission whether the deadline is guaranteed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.events import SchedulingContext
+from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
+
+__all__ = ["DeadlineScheduler"]
+
+
+class DeadlineScheduler(CoflowScheduler):
+    """Deadline-guaranteeing scheduler with best-effort backfill.
+
+    Parameters
+    ----------
+    backfill:
+        When True (default) leftover capacity is shared among *all*
+        unfinished flows, letting admitted coflows beat their deadlines.
+        When False, admitted coflows stick to their just-in-time rates
+        (finishing exactly at the deadline); best-effort traffic always
+        receives the leftover max-min fairly -- the fabric stays
+        work-conserving either way.
+    """
+
+    name = "deadline"
+
+    def __init__(self, *, backfill: bool = True) -> None:
+        self.backfill = backfill
+        self._admitted: dict[int, bool] = {}
+
+    def reset(self) -> None:
+        self._admitted.clear()
+
+    def admitted(self, coflow_id: int) -> bool | None:
+        """Admission verdict for a coflow (None = not seen / no deadline)."""
+        return self._admitted.get(coflow_id)
+
+    def allocate(self, ctx: SchedulingContext) -> np.ndarray:
+        rates = np.zeros(ctx.n_flows)
+        res_out = ctx.fabric.egress_rates.copy()
+        res_in = ctx.fabric.ingress_rates.copy()
+        n = ctx.fabric.n_ports
+
+        deadline_ids = [
+            c
+            for c in ctx.active_coflow_ids()
+            if ctx.progress[c].deadline is not None
+        ]
+        deadline_ids.sort(key=lambda c: (ctx.progress[c].arrival_time, c))
+
+        for cid in deadline_ids:
+            prog = ctx.progress[cid]
+            idx = ctx.flows_of(cid)
+            time_left = prog.absolute_deadline - ctx.time
+            if cid not in self._admitted:
+                self._admitted[cid] = self._admissible(
+                    ctx, idx, time_left, res_out, res_in
+                )
+            if not self._admitted[cid]:
+                continue  # best-effort via backfill
+            if time_left <= 0:
+                # Past-deadline admitted coflow (only possible through
+                # float dust): drain at line rate via backfill.
+                continue
+            need = ctx.remaining[idx] / time_left
+            rates[idx] += need
+            res_out -= np.bincount(ctx.srcs[idx], weights=need, minlength=n)
+            res_in -= np.bincount(ctx.dsts[idx], weights=need, minlength=n)
+            np.maximum(res_out, 0.0, out=res_out)
+            np.maximum(res_in, 0.0, out=res_in)
+
+        if self.backfill:
+            maxmin_fill(ctx.srcs, ctx.dsts, res_out, res_in, rates=rates)
+        else:
+            # Work conservation for non-guaranteed traffic only.
+            guaranteed = np.array(
+                [
+                    self._admitted.get(int(c), False)
+                    for c in ctx.coflow_ids
+                ]
+            )
+            besteffort = np.flatnonzero(~guaranteed)
+            maxmin_fill(
+                ctx.srcs, ctx.dsts, res_out, res_in,
+                subset=besteffort, rates=rates,
+            )
+        return rates
+
+    @staticmethod
+    def _admissible(
+        ctx: SchedulingContext,
+        idx: np.ndarray,
+        time_left: float,
+        res_out: np.ndarray,
+        res_in: np.ndarray,
+    ) -> bool:
+        """Can the coflow's minimum-rate demand fit in the residual caps?"""
+        if time_left <= 0:
+            return False
+        n = ctx.fabric.n_ports
+        need = ctx.remaining[idx] / time_left
+        out = np.bincount(ctx.srcs[idx], weights=need, minlength=n)
+        inb = np.bincount(ctx.dsts[idx], weights=need, minlength=n)
+        return bool((out <= res_out * (1 + 1e-9)).all()
+                    and (inb <= res_in * (1 + 1e-9)).all())
+
+    def next_event_hint(self, ctx: SchedulingContext, rates: np.ndarray):
+        """Re-plan at the nearest admitted deadline (rates change there)."""
+        best = None
+        for cid in ctx.active_coflow_ids():
+            dl = ctx.progress[cid].absolute_deadline
+            if dl is None or not self._admitted.get(cid, False):
+                continue
+            dt = dl - ctx.time
+            if dt > 0 and (best is None or dt < best):
+                best = dt
+        return best

@@ -1,0 +1,49 @@
+"""Per-flow max-min fair sharing (the coflow-agnostic baseline).
+
+Models TCP-like behaviour: every flow independently competes for bandwidth
+and the fabric converges to the max-min fair allocation.  Coflow
+boundaries are ignored entirely, which is exactly why coflow-aware
+disciplines (Varys, Aalo) can beat it on CCT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.events import SchedulingContext
+from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
+
+__all__ = ["FairSharingScheduler"]
+
+
+class FairSharingScheduler(CoflowScheduler):
+    """(Weighted) max-min fairness across all active flows.
+
+    Parameters
+    ----------
+    use_weights:
+        When True (default), each flow's fair share is scaled by its
+        coflow's ``weight`` -- weighted max-min, modelling per-job
+        bandwidth priorities.  All weights default to 1, recovering
+        plain max-min.
+    """
+
+    name = "fair"
+    clairvoyant = False
+
+    def __init__(self, *, use_weights: bool = True) -> None:
+        self.use_weights = use_weights
+
+    def allocate(self, ctx: SchedulingContext) -> np.ndarray:
+        res_out = ctx.fabric.egress_rates.copy()
+        res_in = ctx.fabric.ingress_rates.copy()
+        weights = None
+        if self.use_weights and ctx.n_flows:
+            weights = np.array(
+                [ctx.progress[int(c)].weight for c in ctx.coflow_ids]
+            )
+            if np.all(weights == 1.0):
+                weights = None
+        return maxmin_fill(
+            ctx.srcs, ctx.dsts, res_out, res_in, weights=weights
+        )

@@ -1,0 +1,82 @@
+"""Ordered clairvoyant coflow schedulers: FIFO, SCF, NCF.
+
+All three share the same machinery: sort active coflows by a priority key,
+give each coflow in turn a MADD allocation against the residual port
+capacities, then (optionally) backfill leftover bandwidth across all flows
+with a max-min pass so the fabric stays work-conserving.  They differ only
+in the ordering key -- exactly how CoflowSim organizes them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.events import SchedulingContext
+from repro.network.schedulers.base import CoflowScheduler, madd_rates, maxmin_fill
+
+__all__ = ["OrderedCoflowScheduler", "FIFOScheduler", "SCFScheduler", "NCFScheduler"]
+
+
+class OrderedCoflowScheduler(CoflowScheduler):
+    """Template: priority ordering + per-coflow MADD + optional backfill.
+
+    Parameters
+    ----------
+    backfill:
+        When True (default), residual capacity left by the priority pass is
+        redistributed max-min fairly over all active flows, keeping every
+        port busy whenever it has pending traffic (work conservation, as in
+        Varys' implementation).
+    """
+
+    name = "ordered"
+
+    def __init__(self, *, backfill: bool = True) -> None:
+        self.backfill = backfill
+
+    def priority_key(self, ctx: SchedulingContext, coflow_id: int) -> tuple:
+        """Sort key; lower sorts first.  Subclasses override."""
+        raise NotImplementedError
+
+    def allocate(self, ctx: SchedulingContext) -> np.ndarray:
+        rates = np.zeros(ctx.n_flows)
+        res_out = ctx.fabric.egress_rates.copy()
+        res_in = ctx.fabric.ingress_rates.copy()
+        order = sorted(
+            ctx.active_coflow_ids(), key=lambda c: (*self.priority_key(ctx, c), c)
+        )
+        for cid in order:
+            madd_rates(
+                ctx.srcs, ctx.dsts, ctx.remaining, res_out, res_in,
+                ctx.flows_of(cid), rates,
+            )
+        if self.backfill:
+            maxmin_fill(ctx.srcs, ctx.dsts, res_out, res_in, rates=rates)
+        return rates
+
+
+class FIFOScheduler(OrderedCoflowScheduler):
+    """First-In-First-Out: coflows served strictly in arrival order."""
+
+    name = "fifo"
+
+    def priority_key(self, ctx: SchedulingContext, coflow_id: int) -> tuple:
+        return (ctx.progress[coflow_id].arrival_time,)
+
+
+class SCFScheduler(OrderedCoflowScheduler):
+    """Shortest-Coflow-First: fewest remaining bytes first (SJF analogue)."""
+
+    name = "scf"
+
+    def priority_key(self, ctx: SchedulingContext, coflow_id: int) -> tuple:
+        return (ctx.remaining_volume(coflow_id),)
+
+
+class NCFScheduler(OrderedCoflowScheduler):
+    """Narrowest-Coflow-First: fewest concurrent flows first."""
+
+    name = "ncf"
+
+    def priority_key(self, ctx: SchedulingContext, coflow_id: int) -> tuple:
+        return (int(ctx.flows_of(coflow_id).size),)

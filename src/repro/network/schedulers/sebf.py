@@ -1,0 +1,26 @@
+"""Varys' SEBF: Smallest-Effective-Bottleneck-First (Chowdhury et al., SIGCOMM'14).
+
+A coflow's *effective bottleneck* Gamma is the time it would need on an
+idle fabric: ``max_port(bytes_through_port / port_rate)``.  SEBF orders
+coflows by the Gamma of their remaining traffic, allocates rates with MADD
+(so every flow of the scheduled coflow finishes together at Gamma), and
+backfills unused bandwidth.  For a *single* coflow SEBF+MADD is provably
+optimal: CCT equals the closed-form bottleneck used by the CCF paper's
+model (3) -- a property our test suite cross-validates.
+"""
+
+from __future__ import annotations
+
+from repro.network.events import SchedulingContext
+from repro.network.schedulers.ordered import OrderedCoflowScheduler
+
+__all__ = ["SEBFScheduler"]
+
+
+class SEBFScheduler(OrderedCoflowScheduler):
+    """Smallest remaining effective bottleneck first + MADD + backfill."""
+
+    name = "sebf"
+
+    def priority_key(self, ctx: SchedulingContext, coflow_id: int) -> tuple:
+        return (ctx.remaining_bottleneck(coflow_id),)

@@ -1,0 +1,62 @@
+"""Orchestra's Weighted Shuffle Scheduling (WSS; Chowdhury et al., SIGCOMM'11).
+
+The historical predecessor of coflow scheduling: *within* a shuffle,
+allocate each flow a rate proportional to its size, so large flows get
+more bandwidth and the whole shuffle finishes sooner than under unweighted
+fair sharing.  Orchestra showed up to 1.5x speedups from this alone.
+
+Across coflows WSS has no inter-coflow policy; like per-flow fairness we
+process coflows in arrival order against residual capacity, so WSS here
+is "FIFO between coflows, size-weighted max-min within a coflow" -- the
+natural fluid-model rendering of the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.events import SchedulingContext
+from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
+
+__all__ = ["WSSScheduler"]
+
+
+class WSSScheduler(CoflowScheduler):
+    """Size-weighted sharing within each coflow, FIFO across coflows."""
+
+    name = "wss"
+
+    def allocate(self, ctx: SchedulingContext) -> np.ndarray:
+        rates = np.zeros(ctx.n_flows)
+        res_out = ctx.fabric.egress_rates.copy()
+        res_in = ctx.fabric.ingress_rates.copy()
+        n = ctx.fabric.n_ports
+        order = sorted(
+            ctx.active_coflow_ids(),
+            key=lambda c: (ctx.progress[c].arrival_time, c),
+        )
+        for cid in order:
+            idx = ctx.flows_of(cid)
+            weights = ctx.remaining[idx]
+            total = weights.sum()
+            if total <= 0:
+                continue
+            # Proportional shares, scaled to the tightest port constraint
+            # (alpha-scaling: rate_f = alpha * w_f with alpha maximal).
+            out = np.bincount(ctx.srcs[idx], weights=weights, minlength=n)
+            inb = np.bincount(ctx.dsts[idx], weights=weights, minlength=n)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                alpha_out = np.where(out > 0, res_out / out, np.inf).min()
+                alpha_in = np.where(inb > 0, res_in / inb, np.inf).min()
+            alpha = min(alpha_out, alpha_in)
+            if not np.isfinite(alpha) or alpha <= 0:
+                continue
+            alloc = alpha * weights
+            rates[idx] += alloc
+            res_out -= np.bincount(ctx.srcs[idx], weights=alloc, minlength=n)
+            res_in -= np.bincount(ctx.dsts[idx], weights=alloc, minlength=n)
+            np.maximum(res_out, 0.0, out=res_out)
+            np.maximum(res_in, 0.0, out=res_in)
+        # Work conservation: spread any leftover bandwidth.
+        maxmin_fill(ctx.srcs, ctx.dsts, res_out, res_in, rates=rates)
+        return rates

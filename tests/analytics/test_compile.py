@@ -1,0 +1,183 @@
+"""Tests for the query compiler: estimation, ordering, execution."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.catalog import Catalog
+from repro.analytics.compile import QueryExecutor, estimate, optimize_joins
+from repro.analytics.logical import (
+    Distinct,
+    EquiJoin,
+    Filter,
+    GroupByKey,
+    Scan,
+)
+from repro.analytics.queries import (
+    active_customer_orders,
+    build_tpch_catalog,
+    distinct_buyers,
+    orders_per_customer,
+)
+from repro.join.local import join_cardinality
+from repro.join.relation import DistributedRelation
+from repro.workloads.tpch import TPCHConfig
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(
+        TPCHConfig(n_nodes=4, scale_factor=0.002, skew=0.2, seed=6)
+    )
+
+
+class TestCatalog:
+    def test_stats(self, catalog):
+        s = catalog.stats("customer")
+        assert s.rows == 300
+        assert s.distinct_keys == 300
+        assert s.rows_per_key == pytest.approx(1.0)
+
+    def test_duplicate_registration_rejected(self, catalog):
+        with pytest.raises(ValueError, match="already"):
+            catalog.register("customer", catalog.relation("orders"))
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(ValueError, match="unknown table"):
+            catalog.relation("nation")
+
+    def test_node_count_consistency(self):
+        cat = Catalog()
+        cat.register("a", DistributedRelation(shards=[np.array([1])]))
+        with pytest.raises(ValueError, match="nodes"):
+            cat.register(
+                "b",
+                DistributedRelation(shards=[np.array([1]), np.array([2])]),
+            )
+
+    def test_empty_catalog(self):
+        with pytest.raises(ValueError, match="empty"):
+            Catalog().n_nodes
+
+
+class TestEstimation:
+    def test_scan(self, catalog):
+        assert estimate(Scan("orders"), catalog).rows == 3000
+
+    def test_filter_scales(self, catalog):
+        plan = Filter(Scan("orders"), predicate=lambda k: k > 0,
+                      selectivity=0.25)
+        assert estimate(plan, catalog).rows == 750
+
+    def test_join_formula(self, catalog):
+        plan = EquiJoin(Scan("customer"), Scan("orders"))
+        got = estimate(plan, catalog)
+        c = catalog.stats("customer")
+        o = catalog.stats("orders")
+        expected = round(c.rows * o.rows / max(c.distinct_keys, o.distinct_keys))
+        assert got.rows == expected
+
+    def test_groupby_outputs_distinct(self, catalog):
+        plan = GroupByKey(Scan("orders"))
+        assert estimate(plan, catalog).rows == catalog.stats("orders").distinct_keys
+
+    def test_filter_selectivity_validation(self):
+        with pytest.raises(ValueError, match="selectivity"):
+            Filter(Scan("x"), predicate=lambda k: k > 0, selectivity=2.0)
+
+
+class TestJoinOrdering:
+    def test_smallest_input_joins_first(self, catalog):
+        # orders (3000 rows) joined before customer (300) -> reordered.
+        plan = EquiJoin(Scan("orders"), Scan("customer"))
+        opt = optimize_joins(plan, catalog)
+        assert isinstance(opt.left, Scan) and opt.left.table == "customer"
+
+    def test_three_way_flattening(self, catalog):
+        plan = EquiJoin(
+            EquiJoin(Scan("orders"), Scan("orders")), Scan("customer")
+        )
+        opt = optimize_joins(plan, catalog)
+        # Left-deep with customer (smallest) first.
+        assert isinstance(opt, EquiJoin)
+        assert isinstance(opt.left, EquiJoin)
+        assert opt.left.left == Scan("customer")
+
+    def test_recurses_below_nonjoin_nodes(self, catalog):
+        plan = GroupByKey(EquiJoin(Scan("orders"), Scan("customer")))
+        opt = optimize_joins(plan, catalog)
+        assert isinstance(opt, GroupByKey)
+        assert opt.child.left == Scan("customer")
+
+    def test_describe_renders_tree(self):
+        text = orders_per_customer().describe()
+        assert "GroupByKey" in text and "Scan(customer)" in text
+
+
+class TestExecution:
+    @pytest.mark.parametrize("strategy", ["hash", "mini", "ccf"])
+    def test_join_query_correct_under_all_strategies(self, catalog, strategy):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        plan = EquiJoin(Scan("customer"), Scan("orders"))
+        result = ex.execute(plan, strategy=strategy)
+        expected = join_cardinality(
+            catalog.relation("customer").all_keys(),
+            catalog.relation("orders").all_keys(),
+        )
+        assert result.rows == expected
+        assert len(result.stages) == 1
+
+    def test_groupby_query_matches_centralized(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        result = ex.execute(orders_per_customer())
+        assert result.groups is not None
+        # Group counts over the join equal per-key join multiplicities.
+        orders = catalog.relation("orders").key_counts()
+        cust = catalog.relation("customer").key_counts()
+        expected = {
+            k: orders[k] * cust[k] for k in orders if k in cust
+        }
+        assert result.groups == expected
+
+    def test_filter_pushes_locally(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        result = ex.execute(active_customer_orders(key_modulus=3))
+        # Only the join crosses the network; the filter adds no stage.
+        # (The filtered dimension may be small enough that the cost-based
+        # chooser picks a broadcast join -- still exactly one stage.)
+        assert len(result.stages) == 1
+        assert result.stages[0].name in ("join", "broadcast-join")
+        keys = result.relation.all_keys()
+        assert (keys % 3 == 0).all()
+
+    def test_distinct_query(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        result = ex.execute(distinct_buyers())
+        expected = np.unique(catalog.relation("orders").all_keys()).size
+        assert result.rows == expected
+        # The output relation holds each key exactly once.
+        assert result.relation.total_tuples == expected
+
+    def test_ccf_not_slower_than_mini(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        plan = orders_per_customer()
+        t = {
+            s: ex.execute(plan, strategy=s).total_communication_seconds
+            for s in ("mini", "ccf")
+        }
+        assert t["ccf"] <= t["mini"] + 1e-9
+
+    def test_estimated_rows_recorded(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        result = ex.execute(EquiJoin(Scan("customer"), Scan("orders")))
+        assert result.estimated_rows > 0
+        # Uniform FK: the estimate should land near the truth.
+        assert result.estimated_rows == pytest.approx(result.rows, rel=0.35)
+
+    def test_optimization_toggle(self, catalog):
+        ex = QueryExecutor(catalog, optimize=False, skew_factor=50.0)
+        result = ex.execute(EquiJoin(Scan("orders"), Scan("customer")))
+        expected = join_cardinality(
+            catalog.relation("customer").all_keys(),
+            catalog.relation("orders").all_keys(),
+        )
+        assert result.rows == expected

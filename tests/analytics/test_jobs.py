@@ -1,0 +1,74 @@
+"""Tests for analytical jobs and the job executor."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.executor import JobExecutor
+from repro.analytics.query import AnalyticalJob
+from repro.core.framework import CCF
+from repro.core.model import ShuffleModel
+from repro.join.operators import DistributedAggregation, DistributedJoin
+from repro.join.partitioner import HashPartitioner
+from repro.workloads.tpch import TPCHConfig, generate_tpch_relations
+
+
+@pytest.fixture(scope="module")
+def job():
+    cfg = TPCHConfig(n_nodes=4, scale_factor=0.002, seed=2)
+    customer, orders = generate_tpch_relations(cfg)
+    join = DistributedJoin(customer, orders, partitioner=HashPartitioner(20))
+    agg = DistributedAggregation(orders, partitioner=HashPartitioner(20))
+    return AnalyticalJob(name="q").add(join, "join").add(agg, "aggregate")
+
+
+class TestAnalyticalJob:
+    def test_fluent_add(self, job):
+        assert len(job) == 2
+        assert [s.name for s in job] == ["join", "aggregate"]
+
+    def test_default_stage_names(self):
+        m = ShuffleModel(h=np.ones((2, 2)), rate=1.0)
+        j = AnalyticalJob().add(m)
+        assert j.stages[0].name == "stage0"
+
+
+class TestJobExecutor:
+    def test_closed_form_total_is_sum_of_stage_ccts(self, job):
+        result = JobExecutor().run(job, strategy="ccf")
+        assert result.total_communication_seconds == pytest.approx(
+            sum(s.communication_seconds for s in result.stages)
+        )
+        assert result.total_traffic == pytest.approx(
+            sum(s.plan.traffic for s in result.stages)
+        )
+
+    def test_ccf_not_slower_than_baselines(self, job):
+        ex = JobExecutor()
+        t = {
+            s: ex.run(job, strategy=s).total_communication_seconds
+            for s in ("hash", "mini", "ccf")
+        }
+        assert t["ccf"] <= t["hash"] + 1e-9
+        assert t["ccf"] <= t["mini"] + 1e-9
+
+    def test_simulated_matches_closed_form_under_sebf(self, job):
+        ex = JobExecutor(scheduler="sebf")
+        closed = ex.run(job, strategy="ccf", simulate=False)
+        simulated = ex.run(job, strategy="ccf", simulate=True)
+        assert simulated.total_communication_seconds == pytest.approx(
+            closed.total_communication_seconds, rel=1e-6
+        )
+
+    def test_fair_sharing_not_faster_than_optimal(self, job):
+        closed = JobExecutor().run(job, strategy="ccf")
+        fair = JobExecutor(scheduler="fair").run(job, strategy="ccf", simulate=True)
+        assert (
+            fair.total_communication_seconds
+            >= closed.total_communication_seconds - 1e-9
+        )
+
+    def test_custom_ccf_instance(self, job):
+        ex = JobExecutor(CCF(skew_handling=False))
+        result = ex.run(job, strategy="ccf")
+        assert result.strategy == "ccf"
+        assert len(result.stages) == 2

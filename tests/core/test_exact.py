@@ -1,0 +1,72 @@
+"""Unit tests for the exact MILP solver (model (3) via HiGHS)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ccf_exact
+from repro.core.heuristic import ccf_heuristic
+from repro.core.model import ShuffleModel
+from tests.conftest import random_model
+
+
+def exhaustive_optimum(model: ShuffleModel) -> float:
+    best = np.inf
+    for dest in itertools.product(range(model.n), repeat=model.p):
+        t = model.evaluate(np.array(dest, dtype=np.int64)).bottleneck_bytes
+        best = min(best, t)
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exhaustive_on_tiny_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        m = random_model(rng, 3, 5)
+        res = ccf_exact(m)
+        achieved = m.evaluate(res.dest).bottleneck_bytes
+        assert achieved == pytest.approx(exhaustive_optimum(m))
+        # Objective value agrees with the achieved T (T* is tight).
+        assert res.bottleneck_bytes == pytest.approx(achieved)
+
+    def test_with_initial_flows(self):
+        rng = np.random.default_rng(11)
+        m = random_model(rng, 3, 4, with_v0=True)
+        res = ccf_exact(m)
+        assert m.evaluate(res.dest).bottleneck_bytes == pytest.approx(
+            exhaustive_optimum(m)
+        )
+
+    def test_never_worse_than_heuristic(self, rng):
+        for _ in range(5):
+            m = random_model(rng, 4, 8)
+            t_exact = m.evaluate(ccf_exact(m).dest).bottleneck_bytes
+            t_heur = m.evaluate(ccf_heuristic(m)).bottleneck_bytes
+            assert t_exact <= t_heur + 1e-6
+
+    def test_motivating_example_optimum_is_three(self):
+        from repro.experiments.motivating import EXAMPLE_CHUNKS
+
+        m = ShuffleModel(h=EXAMPLE_CHUNKS.copy(), rate=1.0)
+        res = ccf_exact(m)
+        assert m.evaluate(res.dest).bottleneck_bytes == pytest.approx(3.0)
+
+
+class TestGuards:
+    def test_variable_limit(self):
+        m = ShuffleModel(h=np.ones((10, 10)), rate=1.0)
+        with pytest.raises(ValueError, match="max_variables"):
+            ccf_exact(m, max_variables=50)
+
+    def test_empty_instance(self):
+        m = ShuffleModel(h=np.zeros((3, 0)), rate=1.0)
+        res = ccf_exact(m)
+        assert res.dest.shape == (0,)
+        assert res.bottleneck_bytes == 0.0
+
+    def test_solve_seconds_recorded(self, rng):
+        m = random_model(rng, 3, 4)
+        res = ccf_exact(m)
+        assert res.solve_seconds > 0
+        assert isinstance(res.status, str)

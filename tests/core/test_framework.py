@@ -1,0 +1,101 @@
+"""Unit tests for the CCF framework front-end and plan comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF, DEFAULT_STRATEGIES, PlanComparison
+from repro.core.model import ShuffleModel
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+@pytest.fixture
+def workload():
+    return AnalyticJoinWorkload(n_nodes=10, scale_factor=0.5)
+
+
+class TestPlan:
+    def test_plan_on_raw_model(self, small_model):
+        plan = CCF().plan(small_model, "ccf")
+        assert plan.strategy == "ccf"
+        assert plan.dest.shape == (small_model.p,)
+        assert plan.solve_seconds >= 0
+
+    @pytest.mark.parametrize("strategy", ["hash", "mini", "ccf", "ccf-exact"])
+    def test_all_strategies_produce_valid_plans(self, strategy):
+        wl = AnalyticJoinWorkload(n_nodes=4, partitions=12, scale_factor=0.01)
+        plan = CCF().plan(wl, strategy)
+        assert plan.dest.shape == (12,)
+        assert ((plan.dest >= 0) & (plan.dest < 4)).all()
+
+    def test_unknown_strategy_rejected(self, small_model):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            CCF().plan(small_model, "magic")
+
+
+class TestSkewHandlingSemantics:
+    def test_hash_uses_raw_model(self, workload):
+        ccf = CCF(skew_handling=True)
+        model = ccf.model_for(workload, "hash")
+        # Raw model: no initial flows, no pre-pinned local bytes.
+        assert model.v0.sum() == 0.0
+        assert model.local_bytes_pre == 0.0
+
+    def test_ccf_uses_skew_handled_model(self, workload):
+        ccf = CCF(skew_handling=True)
+        model = ccf.model_for(workload, "ccf")
+        assert model.local_bytes_pre > 0.0  # skewed ORDERS pinned local
+        assert model.v0.sum() > 0.0  # broadcast initial flows
+
+    def test_skew_handling_disabled_globally(self, workload):
+        ccf = CCF(skew_handling=False)
+        model = ccf.model_for(workload, "ccf")
+        assert model.local_bytes_pre == 0.0
+
+    def test_model_passthrough(self, small_model):
+        assert CCF().model_for(small_model, "ccf") is small_model
+
+
+class TestCompare:
+    def test_default_strategies(self, workload):
+        cmp = CCF().compare(workload)
+        assert set(cmp.strategies) == set(DEFAULT_STRATEGIES)
+
+    def test_ccf_wins_on_paper_workload(self, workload):
+        cmp = CCF().compare(workload)
+        assert cmp.cct("ccf") <= cmp.cct("hash") + 1e-9
+        assert cmp.cct("ccf") <= cmp.cct("mini") + 1e-9
+
+    def test_mini_moves_least(self, workload):
+        cmp = CCF().compare(workload)
+        assert cmp.traffic("mini") <= cmp.traffic("hash")
+        assert cmp.traffic("mini") <= cmp.traffic("ccf")
+
+    def test_speedup_definition(self, workload):
+        cmp = CCF().compare(workload)
+        assert cmp.speedup("mini", "ccf") == pytest.approx(
+            cmp.cct("mini") / cmp.cct("ccf")
+        )
+
+    def test_speedup_infinite_when_fast_is_zero(self):
+        model = ShuffleModel(h=np.zeros((2, 2)), rate=1.0)
+        cmp = CCF().compare(model, strategies=("hash", "ccf"))
+        assert cmp.speedup("hash", "ccf") == float("inf")
+
+    def test_row_has_all_metrics(self, workload):
+        row = CCF().compare(workload).row()
+        for s in DEFAULT_STRATEGIES:
+            assert f"{s}_traffic_gb" in row
+            assert f"{s}_cct_s" in row
+            assert f"{s}_solve_s" in row
+
+    def test_contains_and_getitem(self, workload):
+        cmp = CCF().compare(workload)
+        assert "ccf" in cmp
+        assert cmp["ccf"].strategy == "ccf"
+
+
+class TestPlanComparisonStandalone:
+    def test_empty(self):
+        cmp = PlanComparison()
+        assert cmp.strategies == []
+        assert "x" not in cmp

@@ -1,0 +1,83 @@
+"""Tests: the streaming planner reproduces Algorithm 1 exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import ccf_heuristic
+from repro.core.incremental import IncrementalPlanner
+from repro.core.model import ShuffleModel
+from tests.conftest import random_model
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sorted_feed_matches_batch_heuristic(self, seed):
+        rng = np.random.default_rng(seed)
+        m = random_model(rng, 5, 12)
+        batch = ccf_heuristic(m)
+
+        planner = IncrementalPlanner(n_nodes=5)
+        order = np.argsort(-m.h.max(axis=0), kind="stable")
+        streamed = np.empty(12, dtype=np.int64)
+        for k in order:
+            streamed[k] = planner.assign(m.h[:, k])
+        np.testing.assert_array_equal(streamed, batch)
+        assert planner.bottleneck_bytes == pytest.approx(
+            m.evaluate(batch).bottleneck_bytes
+        )
+
+    def test_unsorted_feed_matches_unsorted_heuristic(self, rng):
+        m = random_model(rng, 4, 10)
+        batch = ccf_heuristic(m, sort_partitions=False)
+        planner = IncrementalPlanner(n_nodes=4)
+        streamed = np.array(
+            [planner.assign(m.h[:, k]) for k in range(10)], dtype=np.int64
+        )
+        np.testing.assert_array_equal(streamed, batch)
+
+    def test_initial_loads_match_v0_model(self, rng):
+        h = rng.integers(0, 10, size=(3, 6)).astype(float)
+        v0 = np.array([[0.0, 5.0, 0.0], [0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        m = ShuffleModel(h=h, v0=v0, rate=1.0)
+        batch = ccf_heuristic(m, sort_partitions=False)
+        send0, recv0 = m.initial_loads()
+        planner = IncrementalPlanner(
+            n_nodes=3, initial_send=send0, initial_recv=recv0
+        )
+        streamed = np.array(
+            [planner.assign(h[:, k]) for k in range(6)], dtype=np.int64
+        )
+        np.testing.assert_array_equal(streamed, batch)
+
+
+class TestAPI:
+    def test_peek_does_not_commit(self):
+        planner = IncrementalPlanner(n_nodes=3)
+        col = np.array([4.0, 1.0, 0.0])
+        d, t = planner.peek(col)
+        assert planner.partitions_assigned == 0
+        assert planner.bottleneck_bytes == 0.0
+        assert planner.assign(col) == d
+        assert planner.bottleneck_bytes == pytest.approx(t)
+
+    def test_loads_are_copies(self):
+        planner = IncrementalPlanner(n_nodes=2)
+        send, recv = planner.loads()
+        send[0] = 99.0
+        assert planner.loads()[0][0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            IncrementalPlanner(n_nodes=0)
+        with pytest.raises(ValueError, match="initial_send"):
+            IncrementalPlanner(n_nodes=2, initial_send=np.ones(3))
+        planner = IncrementalPlanner(n_nodes=2)
+        with pytest.raises(ValueError, match="shape"):
+            planner.assign(np.ones(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            planner.assign(np.array([-1.0, 0.0]))
+
+    def test_single_node(self):
+        planner = IncrementalPlanner(n_nodes=1)
+        assert planner.assign(np.array([5.0])) == 0
+        assert planner.bottleneck_bytes == 0.0

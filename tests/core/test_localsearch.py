@@ -1,0 +1,105 @@
+"""Tests for single-partition-move local search."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import ccf_heuristic
+from repro.core.localsearch import refine_assignment
+from repro.core.model import ShuffleModel
+from repro.core.strategies import hash_assignment, mini_assignment
+from tests.conftest import random_model
+
+#: The adversarial instance hypothesis found, where the greedy (T=19)
+#: lands above both Hash and Mini (T=18).
+ADVERSARIAL = np.array(
+    [
+        [17.0, 0.0, 2.0, 0.0],
+        [0.0, 17.0, 0.0, 0.0],
+        [2.0, 16.0, 17.0, 0.0],
+    ]
+)
+
+
+class TestRefinement:
+    def test_never_hurts(self, rng):
+        for _ in range(10):
+            m = random_model(rng, 5, 12)
+            dest = rng.integers(0, 5, size=12)
+            res = refine_assignment(m, dest)
+            assert res.final_t <= res.initial_t + 1e-9
+            assert res.final_t == pytest.approx(
+                m.evaluate(res.dest).bottleneck_bytes
+            )
+
+    def test_input_not_modified(self, rng):
+        m = random_model(rng, 4, 8)
+        dest = rng.integers(0, 4, size=8)
+        before = dest.copy()
+        refine_assignment(m, dest)
+        np.testing.assert_array_equal(dest, before)
+
+    def test_fixes_the_adversarial_greedy_instance(self):
+        m = ShuffleModel(h=ADVERSARIAL.copy(), rate=1.0)
+        greedy = ccf_heuristic(m)
+        t_greedy = m.evaluate(greedy).bottleneck_bytes
+        baseline = min(
+            m.evaluate(hash_assignment(m)).bottleneck_bytes,
+            m.evaluate(mini_assignment(m)).bottleneck_bytes,
+        )
+        assert t_greedy > baseline  # the known weakness
+        res = refine_assignment(m, greedy)
+        assert res.final_t <= baseline + 1e-9
+        assert res.moves >= 1
+
+    def test_reaches_local_optimum(self, rng):
+        # After refinement, no single move improves: verify exhaustively
+        # on a small instance.
+        m = random_model(rng, 3, 5)
+        res = refine_assignment(m, rng.integers(0, 3, size=5))
+        t_star = res.final_t
+        for k in range(5):
+            for b in range(3):
+                cand = res.dest.copy()
+                cand[k] = b
+                assert m.evaluate(cand).bottleneck_bytes >= t_star - 1e-9
+
+    def test_improvement_metric(self, rng):
+        m = random_model(rng, 4, 10)
+        # Worst possible start: everything to node 0.
+        res = refine_assignment(m, np.zeros(10, dtype=np.int64))
+        assert 0 <= res.improvement <= 1
+        if res.moves:
+            assert res.improvement > 0
+
+    def test_already_optimal_is_noop(self):
+        # One node holding everything, assigned to itself: T = 0.
+        h = np.zeros((3, 4))
+        h[1] = [5.0, 6.0, 7.0, 8.0]
+        m = ShuffleModel(h=h, rate=1.0)
+        res = refine_assignment(m, np.full(4, 1, dtype=np.int64))
+        assert res.moves == 0 and res.final_t == 0.0
+
+    def test_edge_cases(self):
+        m = ShuffleModel(h=np.zeros((3, 0)), rate=1.0)
+        res = refine_assignment(m, np.zeros(0, dtype=np.int64))
+        assert res.moves == 0
+        m1 = ShuffleModel(h=np.ones((1, 3)), rate=1.0)
+        res1 = refine_assignment(m1, np.zeros(3, dtype=np.int64))
+        assert res1.final_t == 0.0
+
+    def test_stays_near_exhaustive_optimum(self, rng):
+        # Single-move local optima can sit above the global optimum
+        # (improving may need a coordinated swap: observed 1.30x on a
+        # random 3x5 instance), but hill climbing from the greedy stays
+        # well inside the classical 2x band for makespan-style moves.
+        for _ in range(10):
+            m = random_model(rng, 3, 5)
+            start = ccf_heuristic(m)
+            res = refine_assignment(m, start)
+            best = min(
+                m.evaluate(np.array(d, dtype=np.int64)).bottleneck_bytes
+                for d in itertools.product(range(3), repeat=5)
+            )
+            assert res.final_t <= 1.6 * best + 1e-9

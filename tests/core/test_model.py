@@ -1,0 +1,148 @@
+"""Unit tests for the ShuffleModel (paper model (1)->(3))."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PlanMetrics, ShuffleModel, group_by_destination
+from tests.conftest import brute_force_metrics, random_model
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = ShuffleModel(h=np.ones((3, 6)), rate=1.0)
+        assert m.n == 3 and m.p == 6
+        np.testing.assert_allclose(m.partition_sizes, 3.0)
+        assert m.total_bytes == 18.0
+
+    def test_rejects_negative_chunks(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ShuffleModel(h=np.array([[1.0, -1.0]]))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ShuffleModel(h=np.ones(3))
+        with pytest.raises(ValueError, match="v0"):
+            ShuffleModel(h=np.ones((2, 2)), v0=np.ones((3, 3)))
+
+    def test_rejects_nonzero_v0_diagonal(self):
+        v0 = np.ones((2, 2))
+        with pytest.raises(ValueError, match="diagonal"):
+            ShuffleModel(h=np.ones((2, 2)), v0=v0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            ShuffleModel(h=np.ones((2, 2)), rate=-1.0)
+
+    def test_initial_loads(self):
+        v0 = np.array([[0.0, 2.0], [3.0, 0.0]])
+        m = ShuffleModel(h=np.zeros((2, 1)), v0=v0)
+        send, recv = m.initial_loads()
+        np.testing.assert_allclose(send, [2.0, 3.0])
+        np.testing.assert_allclose(recv, [3.0, 2.0])
+
+
+class TestAssignmentValidation:
+    def setup_method(self):
+        self.m = ShuffleModel(h=np.ones((3, 4)), rate=1.0)
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="shape"):
+            self.m.validate_assignment(np.zeros(3, dtype=np.int64))
+
+    def test_float_dtype_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            self.m.validate_assignment(np.zeros(4))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="values"):
+            self.m.validate_assignment(np.array([0, 1, 2, 3]))
+
+
+class TestGroupByDestination:
+    def test_matches_loop(self, rng):
+        h = rng.integers(0, 9, size=(5, 17)).astype(float)
+        dest = rng.integers(0, 5, size=17)
+        out = group_by_destination(h, dest)
+        ref = np.zeros((5, 5))
+        for k in range(17):
+            ref[:, dest[k]] += h[:, k]
+        np.testing.assert_allclose(out, ref)
+
+    def test_empty_partitions(self):
+        out = group_by_destination(np.zeros((3, 0)), np.zeros(0, dtype=np.int64))
+        np.testing.assert_allclose(out, np.zeros((3, 3)))
+
+    def test_all_to_one_destination(self):
+        h = np.arange(9, dtype=float).reshape(3, 3)
+        out = group_by_destination(h, np.array([1, 1, 1]))
+        np.testing.assert_allclose(out[:, 1], h.sum(axis=1))
+        assert out[:, 0].sum() == 0 and out[:, 2].sum() == 0
+
+
+class TestEvaluate:
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            m = random_model(rng, 5, 9, with_v0=True)
+            dest = rng.integers(0, 5, size=9)
+            got = m.evaluate(dest)
+            traffic, send, recv, t = brute_force_metrics(m.h, dest, m.v0)
+            assert got.traffic == pytest.approx(traffic)
+            np.testing.assert_allclose(got.send_loads, send)
+            np.testing.assert_allclose(got.recv_loads, recv)
+            assert got.bottleneck_bytes == pytest.approx(t)
+
+    def test_cct_is_bottleneck_over_rate(self):
+        m = ShuffleModel(h=np.array([[0.0, 4.0], [6.0, 0.0]]), rate=2.0)
+        metrics = m.evaluate(np.array([0, 1]))
+        # Everything moves: node1 sends 6 to node0, node0 sends 4 to node1.
+        assert metrics.bottleneck_bytes == 6.0
+        assert metrics.cct == 3.0
+
+    def test_local_bytes_includes_preprocessing(self):
+        m = ShuffleModel(h=np.array([[5.0], [0.0]]), local_bytes_pre=7.0, rate=1.0)
+        metrics = m.evaluate(np.array([0]))
+        assert metrics.local_bytes == 12.0
+        assert metrics.traffic == 0.0
+
+    def test_summary_renders(self):
+        m = ShuffleModel(h=np.ones((2, 2)) * 1e9, rate=1e9)
+        s = m.evaluate(np.array([0, 1])).summary()
+        assert "traffic" in s and "CCT" in s
+
+
+class TestCoflowExport:
+    def test_to_coflow_volume_matches(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        cf = small_model.to_coflow(dest)
+        assert cf.total_volume == pytest.approx(
+            small_model.evaluate(dest).traffic
+        )
+
+    def test_coflow_bottleneck_matches_cct(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        cf = small_model.to_coflow(dest)
+        assert cf.bottleneck(small_model.n, small_model.rate) == pytest.approx(
+            small_model.evaluate(dest).cct
+        )
+
+
+class TestBounds:
+    def test_traffic_lower_bound_achieved_by_mini(self, rng):
+        from repro.core.strategies import mini_assignment
+
+        m = random_model(rng, 4, 10)
+        dest = mini_assignment(m)
+        assert m.evaluate(dest).traffic == pytest.approx(m.traffic_lower_bound())
+
+    def test_traffic_lower_bound_is_lower(self, rng):
+        m = random_model(rng, 4, 10)
+        for _ in range(10):
+            dest = rng.integers(0, 4, size=10)
+            assert m.evaluate(dest).traffic >= m.traffic_lower_bound() - 1e-9
+
+    def test_bottleneck_lower_bound_valid(self, rng):
+        m = random_model(rng, 4, 10, with_v0=True)
+        lb = m.bottleneck_lower_bound()
+        for _ in range(20):
+            dest = rng.integers(0, 4, size=10)
+            assert m.evaluate(dest).bottleneck_bytes >= lb - 1e-9

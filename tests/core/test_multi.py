@@ -1,0 +1,115 @@
+"""Tests for concurrent multi-operator planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.core.model import ShuffleModel
+from repro.core.multi import (
+    ConcurrentPlan,
+    joint_makespan,
+    merge_models,
+    plan_concurrent,
+)
+from tests.conftest import random_model
+
+
+class TestMergeModels:
+    def test_concatenates_columns(self, rng):
+        a = random_model(rng, 4, 3)
+        b = random_model(rng, 4, 5)
+        merged = merge_models([a, b])
+        assert merged.p == 8
+        np.testing.assert_allclose(merged.h[:, :3], a.h)
+        np.testing.assert_allclose(merged.h[:, 3:], b.h)
+
+    def test_initial_flows_add(self, rng):
+        a = random_model(rng, 3, 2, with_v0=True)
+        b = random_model(rng, 3, 2, with_v0=True)
+        merged = merge_models([a, b])
+        np.testing.assert_allclose(merged.v0, a.v0 + b.v0)
+
+    def test_extras_add(self):
+        a = ShuffleModel(h=np.ones((2, 1)), extra_send=np.array([5.0, 0.0]))
+        b = ShuffleModel(h=np.ones((2, 1)), extra_send=np.array([1.0, 2.0]))
+        merged = merge_models([a, b])
+        np.testing.assert_allclose(merged.extra_send, [6.0, 2.0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_models([])
+        a = random_model(rng, 3, 2)
+        b = random_model(rng, 4, 2)
+        with pytest.raises(ValueError, match="node counts"):
+            merge_models([a, b])
+        c = random_model(rng, 3, 2, rate=2.0)
+        with pytest.raises(ValueError, match="rate"):
+            merge_models([a, c])
+
+
+class TestJointMakespan:
+    def test_single_plan_equals_its_cct(self, rng):
+        m = random_model(rng, 4, 6)
+        plan = CCF().plan(m, "ccf")
+        assert joint_makespan([plan]) == pytest.approx(plan.cct)
+
+    def test_sums_port_loads(self):
+        # Two shuffles whose traffic lands on the same receive port.
+        m1 = ShuffleModel(h=np.array([[4.0], [0.0]]), rate=1.0)
+        m2 = ShuffleModel(h=np.array([[6.0], [0.0]]), rate=1.0)
+        p1 = CCF().plan(m1, "hash")  # partition 0 -> node 0 (local!)
+        # Use explicit assignments for determinism.
+        from repro.core.plan import ExecutionPlan
+
+        p1 = ExecutionPlan(model=m1, dest=np.array([1]))
+        p2 = ExecutionPlan(model=m2, dest=np.array([1]))
+        assert joint_makespan([p1, p2]) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert joint_makespan([]) == 0.0
+
+
+class TestPlanConcurrent:
+    def test_split_preserves_assignments(self, rng):
+        models = [random_model(rng, 5, 4) for _ in range(3)]
+        cp = plan_concurrent(models)
+        assert len(cp) == 3
+        for m, plan in zip(models, cp.plans):
+            assert plan.model is m
+            assert plan.dest.shape == (m.p,)
+
+    def test_makespan_not_worse_than_oblivious(self):
+        # Identical symmetric operators: oblivious planning sends both to
+        # the same ports; joint planning separates them.
+        m1 = ShuffleModel(h=np.full((4, 1), 8.0), rate=1.0)
+        m2 = ShuffleModel(h=np.full((4, 1), 8.0), rate=1.0)
+        joint = plan_concurrent([m1, m2])
+        oblivious = [CCF().plan(m, "ccf") for m in (m1, m2)]
+        assert joint.makespan_seconds <= joint_makespan(oblivious) + 1e-9
+
+    def test_joint_strictly_better_when_oblivious_collides(self):
+        # Oblivious: both one-partition operators choose the same
+        # destination (deterministic tie-break) and the recv port carries
+        # both; joint: the merged greedy splits them.
+        h = np.zeros((3, 1))
+        h[0, 0] = 10.0
+        h[1, 0] = 10.0  # ties: node 0 and 1 hold equal chunks
+        m1 = ShuffleModel(h=h.copy(), rate=1.0)
+        m2 = ShuffleModel(h=h.copy(), rate=1.0)
+        oblivious = [CCF().plan(m, "ccf") for m in (m1, m2)]
+        assert oblivious[0].dest[0] == oblivious[1].dest[0]
+        joint = plan_concurrent([m1, m2])
+        assert joint.makespan_seconds < joint_makespan(oblivious)
+
+    def test_makespan_matches_merged_bottleneck(self, rng):
+        models = [random_model(rng, 4, 5) for _ in range(2)]
+        cp = plan_concurrent(models)
+        merged = merge_models(models)
+        # Re-evaluating the concatenated assignment on the merged model
+        # must give the same makespan.
+        dest = np.concatenate([p.dest for p in cp.plans])
+        assert merged.evaluate(dest).cct == pytest.approx(cp.makespan_seconds)
+
+    def test_strategy_label(self, rng):
+        cp = plan_concurrent([random_model(rng, 3, 2)], strategy="mini")
+        assert cp[0].strategy == "mini-concurrent"

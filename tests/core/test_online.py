@@ -1,0 +1,129 @@
+"""Tests for online co-optimization against in-flight shuffles."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.core.model import ShuffleModel
+from repro.core.online import InFlightShuffle, OnlineCCF
+
+
+class TestInFlightShuffle:
+    def test_linear_drain(self):
+        s = InFlightShuffle(
+            submit_time=0.0,
+            duration=10.0,
+            send_loads=np.array([100.0, 0.0]),
+            recv_loads=np.array([0.0, 100.0]),
+        )
+        send, recv = s.residual(5.0)
+        assert send[0] == pytest.approx(50.0)
+        assert recv[1] == pytest.approx(50.0)
+        assert s.residual(10.0)[0][0] == 0.0
+        assert not s.finished(9.9)
+        assert s.finished(10.0)
+
+    def test_zero_duration(self):
+        s = InFlightShuffle(0.0, 0.0, np.zeros(2), np.zeros(2))
+        assert s.finished(0.0)
+
+
+class TestOnlineCCF:
+    def make_hot_model(self, volume=100.0):
+        """A shuffle with unavoidable traffic: each partition is split
+        across two nodes, so whatever the destination, half of it moves."""
+        h = np.zeros((3, 2))
+        h[0, :] = volume / 4
+        h[1, :] = volume / 4
+        return ShuffleModel(h=h, rate=1.0)
+
+    def test_idle_fabric_matches_offline(self):
+        m = self.make_hot_model()
+        online = OnlineCCF(n_nodes=3)
+        plan_online = online.submit(m, time=0.0)
+        plan_offline = CCF().plan(m, "ccf")
+        np.testing.assert_array_equal(plan_online.dest, plan_offline.dest)
+
+    def test_residuals_accumulate_and_drain(self):
+        online = OnlineCCF(n_nodes=3)
+        m = self.make_hot_model()
+        online.submit(m, time=0.0)
+        send0, recv0 = online.residual_loads(0.0)
+        assert send0.sum() + recv0.sum() > 0
+        dur = online._history[0].duration
+        send_end, recv_end = online.residual_loads(dur + 1.0)
+        assert send_end.sum() == 0.0 and recv_end.sum() == 0.0
+        assert online.in_flight(dur + 1.0) == []
+
+    def test_planner_avoids_occupied_port(self):
+        # Job A pins heavy traffic into node 2.  While A is in flight,
+        # job B (whose data is symmetric between receiving at node 1 or 2)
+        # must be steered away from node 2.
+        online = OnlineCCF(n_nodes=3)
+        a = ShuffleModel(h=np.array([[200.0], [0.0], [0.0]]), rate=1.0)
+        # Force A's partition to node 2 by submitting with 'hash'-like
+        # model: actually Algorithm 1 would keep it local; use mini on a
+        # crafted matrix where node 2 holds the largest chunk.
+        a = ShuffleModel(
+            h=np.array([[90.0], [0.0], [100.0]]), rate=1.0
+        )
+        plan_a = online.submit(a, time=0.0, strategy="mini")
+        assert plan_a.dest[0] == 2  # node 2 now ingests 90 bytes
+
+        b = ShuffleModel(
+            h=np.array([[50.0, 50.0], [0.0, 0.0], [0.0, 0.0]]), rate=1.0
+        )
+        plan_b = online.submit(b, time=1.0)
+        assert 2 not in plan_b.dest.tolist()
+
+        # An oblivious planner has no reason to avoid node 2.
+        oblivious = CCF().plan(b, "ccf")
+        occupied_loads = online.residual_loads(1.0)
+        assert occupied_loads[1][2] > 0  # node 2 still receiving A's bytes
+
+    def test_time_ordering_enforced(self):
+        online = OnlineCCF(n_nodes=3)
+        online.submit(self.make_hot_model(), time=5.0)
+        with pytest.raises(ValueError, match="time-ordered"):
+            online.submit(self.make_hot_model(), time=1.0)
+
+    def test_node_count_mismatch(self):
+        online = OnlineCCF(n_nodes=4)
+        with pytest.raises(ValueError, match="nodes"):
+            online.submit(self.make_hot_model(), time=0.0)
+
+    def test_reset(self):
+        online = OnlineCCF(n_nodes=3)
+        online.submit(self.make_hot_model(), time=0.0)
+        online.reset()
+        assert online.in_flight(0.0) == []
+        online.submit(self.make_hot_model(), time=0.0)  # re-allowed at t=0
+
+    def test_invalid_fabric_size(self):
+        with pytest.raises(ValueError):
+            OnlineCCF(n_nodes=0)
+
+    def test_occupied_model_preserves_constraint_values(self):
+        # The extra-load vectors must reproduce the residual port loads
+        # exactly in the model's initial loads.
+        online = OnlineCCF(n_nodes=3)
+        m = self.make_hot_model()
+        online.submit(m, time=0.0)
+        send, recv = online.residual_loads(0.0)
+        occ = online._occupied_model(
+            ShuffleModel(h=np.zeros((3, 1)), rate=1.0), 0.0
+        )
+        send_occ, recv_occ = occ.initial_loads()
+        np.testing.assert_allclose(send_occ, send)
+        np.testing.assert_allclose(recv_occ, recv)
+
+    def test_extra_loads_raise_plan_bottleneck(self):
+        base = ShuffleModel(h=np.array([[10.0, 0.0], [0.0, 10.0]]), rate=1.0)
+        loaded = ShuffleModel(
+            h=base.h.copy(),
+            rate=1.0,
+            extra_recv=np.array([0.0, 25.0]),
+        )
+        dest = np.array([1, 0], dtype=np.int64)  # both chunks move
+        assert loaded.evaluate(dest).bottleneck_bytes == pytest.approx(35.0)
+        assert base.evaluate(dest).bottleneck_bytes == pytest.approx(10.0)

@@ -1,0 +1,47 @@
+"""Unit tests for ExecutionPlan."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExecutionPlan
+from tests.conftest import random_model
+
+
+class TestExecutionPlan:
+    def test_metrics_cached(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        plan = ExecutionPlan(model=small_model, dest=dest)
+        assert plan.metrics is plan.metrics
+
+    def test_shortcuts_match_metrics(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        plan = ExecutionPlan(model=small_model, dest=dest)
+        m = plan.metrics
+        assert plan.traffic == m.traffic
+        assert plan.cct == m.cct
+        assert plan.bottleneck_bytes == m.bottleneck_bytes
+
+    def test_invalid_dest_rejected_at_construction(self, small_model):
+        with pytest.raises(ValueError):
+            ExecutionPlan(
+                model=small_model,
+                dest=np.full(small_model.p, small_model.n, dtype=np.int64),
+            )
+
+    def test_to_coflow_inherits_strategy_name(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        plan = ExecutionPlan(model=small_model, dest=dest, strategy="ccf")
+        assert plan.to_coflow().name == "ccf"
+
+    def test_to_coflow_arrival(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        plan = ExecutionPlan(model=small_model, dest=dest)
+        assert plan.to_coflow(arrival_time=5.0).arrival_time == 5.0
+
+    def test_describe_mentions_strategy_and_time(self, small_model, rng):
+        dest = rng.integers(0, small_model.n, size=small_model.p)
+        plan = ExecutionPlan(
+            model=small_model, dest=dest, strategy="mini", solve_seconds=0.5
+        )
+        text = plan.describe()
+        assert "mini" in text and "500.00 ms" in text

@@ -1,0 +1,57 @@
+"""Tests: the closed-form predictor tracks the actual planner."""
+
+import pytest
+
+from repro.core.framework import CCF
+from repro.core.predictor import predict_ccts
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+def planner_ccts(wl):
+    cmp = CCF().compare(wl)
+    return {s: cmp.cct(s) for s in ("hash", "mini", "ccf")}
+
+
+class TestPredictor:
+    @pytest.mark.parametrize("n_nodes", [50, 100])
+    @pytest.mark.parametrize("skew", [0.0, 0.2, 0.4])
+    def test_tracks_planner_within_ten_percent(self, n_nodes, skew):
+        wl = AnalyticJoinWorkload(
+            n_nodes=n_nodes, scale_factor=10.0, zipf_s=0.8, skew=skew
+        )
+        pred = predict_ccts(wl)
+        actual = planner_ccts(wl)
+        assert pred.hash_cct == pytest.approx(actual["hash"], rel=0.10)
+        assert pred.mini_cct == pytest.approx(actual["mini"], rel=0.10)
+        assert pred.ccf_cct == pytest.approx(actual["ccf"], rel=0.15)
+
+    def test_speedups_track(self):
+        wl = AnalyticJoinWorkload(n_nodes=100, scale_factor=10.0)
+        pred = predict_ccts(wl)
+        actual = planner_ccts(wl)
+        assert pred.speedup_over_mini == pytest.approx(
+            actual["mini"] / actual["ccf"], rel=0.2
+        )
+        assert pred.speedup_over_hash == pytest.approx(
+            actual["hash"] / actual["ccf"], rel=0.2
+        )
+
+    def test_zipf_zero_predicts_huge_ccf_advantage(self):
+        wl = AnalyticJoinWorkload(
+            n_nodes=100, scale_factor=10.0, zipf_s=0.0, skew=0.2
+        )
+        pred = predict_ccts(wl)
+        # Uniform chunks: CCF spreads perfectly; Mini collapses to node 0.
+        assert pred.speedup_over_mini > 50
+
+    def test_paper_bands_at_full_scale(self):
+        # The predictor reproduces the paper's Fig. 5 speedup bands at
+        # SF 600 instantly (no 15000-partition planning involved).
+        for n, lo, hi in ((100, 7.0, 9.5), (1000, 14.0, 17.0)):
+            wl = AnalyticJoinWorkload(n_nodes=n)  # SF 600 defaults
+            pred = predict_ccts(wl)
+            assert lo < pred.speedup_over_mini < hi
+
+    def test_single_node_is_free(self):
+        wl = AnalyticJoinWorkload(n_nodes=1, scale_factor=0.1)
+        assert predict_ccts(wl).ccf_cct == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for the LP-relaxation + rounding solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ccf_exact
+from repro.core.model import ShuffleModel
+from repro.core.relax import ccf_lp_rounding
+from tests.conftest import random_model
+
+
+class TestBounds:
+    def test_lp_lower_bounds_exact_optimum(self, rng):
+        for _ in range(5):
+            m = random_model(rng, 4, 8)
+            lp = ccf_lp_rounding(m, trials=4)
+            exact = ccf_exact(m)
+            t_star = m.evaluate(exact.dest).bottleneck_bytes
+            assert lp.lp_lower_bound <= t_star + 1e-6
+            assert lp.bottleneck_bytes >= t_star - 1e-6
+
+    def test_rounded_t_matches_evaluation(self, rng):
+        m = random_model(rng, 4, 10)
+        lp = ccf_lp_rounding(m)
+        assert lp.bottleneck_bytes == pytest.approx(
+            m.evaluate(lp.dest).bottleneck_bytes
+        )
+
+    def test_gap_upper_bound_nonnegative(self, rng):
+        m = random_model(rng, 5, 12)
+        lp = ccf_lp_rounding(m)
+        assert lp.gap_upper_bound >= -1e-12
+
+
+class TestRounding:
+    def test_deterministic_given_seed(self, rng):
+        m = random_model(rng, 4, 10)
+        a = ccf_lp_rounding(m, seed=5)
+        b = ccf_lp_rounding(m, seed=5)
+        np.testing.assert_array_equal(a.dest, b.dest)
+
+    def test_more_trials_never_worse(self, rng):
+        m = random_model(rng, 5, 12)
+        few = ccf_lp_rounding(m, trials=1, seed=2)
+        many = ccf_lp_rounding(m, trials=32, seed=2)
+        assert many.bottleneck_bytes <= few.bottleneck_bytes + 1e-9
+
+    def test_invalid_trials(self, rng):
+        with pytest.raises(ValueError, match="trial"):
+            ccf_lp_rounding(random_model(rng, 3, 4), trials=0)
+
+    def test_empty_model(self):
+        m = ShuffleModel(h=np.zeros((3, 0)), rate=1.0)
+        lp = ccf_lp_rounding(m)
+        assert lp.dest.shape == (0,)
+        assert lp.bottleneck_bytes == 0.0
+
+    def test_with_initial_flows(self, rng):
+        m = random_model(rng, 4, 8, with_v0=True)
+        lp = ccf_lp_rounding(m)
+        exact = ccf_exact(m)
+        assert lp.lp_lower_bound <= m.evaluate(exact.dest).bottleneck_bytes + 1e-6
+
+    def test_integral_lp_rounds_exactly(self):
+        # When one node holds everything, the LP optimum is integral and
+        # rounding must recover it: keep all partitions on node 0.
+        h = np.zeros((3, 4))
+        h[0] = [10.0, 8.0, 6.0, 4.0]
+        m = ShuffleModel(h=h, rate=1.0)
+        lp = ccf_lp_rounding(m)
+        np.testing.assert_array_equal(lp.dest, 0)
+        assert lp.bottleneck_bytes == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for partial-duplication skew handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.skew import PartialDuplication, detect_skewed_keys
+
+
+class TestDetection:
+    def test_detects_hot_key_from_dict(self):
+        counts = {k: 10 for k in range(100)}
+        counts[1] = 100_000
+        skewed = detect_skewed_keys(counts, factor=100.0)
+        assert skewed.tolist() == [1]
+
+    def test_detects_from_array(self):
+        counts = np.full(50, 10)
+        counts[7] = 1_000_000
+        assert detect_skewed_keys(counts, factor=100.0).tolist() == [7]
+
+    def test_uniform_has_no_skew(self):
+        counts = {k: 10 for k in range(100)}
+        assert detect_skewed_keys(counts, factor=10.0).size == 0
+
+    def test_empty_counts(self):
+        assert detect_skewed_keys({}, factor=10.0).size == 0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            detect_skewed_keys({1: 1}, factor=0.0)
+
+    def test_multiple_hot_keys_sorted(self):
+        counts = {k: 1 for k in range(1000)}
+        counts[42] = 10_000
+        counts[7] = 10_000
+        assert detect_skewed_keys(counts, factor=100.0).tolist() == [7, 42]
+
+
+class TestPartialDuplication:
+    def setup_method(self):
+        self.h_full = np.array(
+            [
+                [10.0, 100.0],
+                [10.0, 50.0],
+                [10.0, 0.0],
+            ]
+        )
+
+    def test_residual_matrix(self):
+        h_skew = np.zeros_like(self.h_full)
+        h_skew[:, 1] = [90.0, 45.0, 0.0]
+        res = PartialDuplication().apply(self.h_full, h_skew_local=h_skew)
+        np.testing.assert_allclose(
+            res.model.h, [[10.0, 10.0], [10.0, 5.0], [10.0, 0.0]]
+        )
+        assert res.local_bytes == 135.0
+        assert res.model.local_bytes_pre == 135.0
+        assert res.broadcast_traffic == 0.0
+
+    def test_broadcast_initial_flows(self):
+        h_bcast = np.zeros_like(self.h_full)
+        h_bcast[0, 0] = 6.0  # node 0 holds 6 bytes of the hot small side
+        res = PartialDuplication().apply(self.h_full, h_broadcast=h_bcast)
+        v0 = res.model.v0
+        # Node 0 broadcasts 6 bytes to nodes 1 and 2, nothing else.
+        np.testing.assert_allclose(v0[0], [0.0, 6.0, 6.0])
+        np.testing.assert_allclose(v0[1], 0.0)
+        assert res.broadcast_traffic == 12.0
+        assert res.model.h[0, 0] == 4.0
+
+    def test_rejects_oversubtraction(self):
+        h_skew = self.h_full + 1.0
+        with pytest.raises(ValueError, match="exceed"):
+            PartialDuplication().apply(self.h_full, h_skew_local=h_skew)
+
+    def test_rejects_negative_matrices(self):
+        bad = np.zeros_like(self.h_full)
+        bad[0, 0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            PartialDuplication().apply(self.h_full, h_broadcast=bad)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            PartialDuplication().apply(self.h_full, h_skew_local=np.zeros((2, 2)))
+
+    def test_noop_without_skew(self):
+        res = PartialDuplication().apply(self.h_full)
+        np.testing.assert_allclose(res.model.h, self.h_full)
+        assert res.local_bytes == 0.0
+
+    def test_rate_passthrough(self):
+        res = PartialDuplication().apply(self.h_full, rate=1.0)
+        assert res.model.rate == 1.0
+
+    def test_skew_handling_reduces_bottleneck_on_hot_partition(self):
+        # All the hot partition's bytes sit on node 0; without handling
+        # they must move wherever partition 1 is assigned (or pin node 0).
+        from repro.core.heuristic import ccf_heuristic
+
+        h = np.array([[5.0, 500.0], [5.0, 400.0], [5.0, 100.0]])
+        raw = PartialDuplication().apply(h)
+        skew = np.zeros_like(h)
+        skew[:, 1] = [500.0, 400.0, 100.0]
+        handled = PartialDuplication().apply(h, h_skew_local=skew)
+        t_raw = raw.model.evaluate(ccf_heuristic(raw.model)).bottleneck_bytes
+        t_handled = handled.model.evaluate(
+            ccf_heuristic(handled.model)
+        ).bottleneck_bytes
+        assert t_handled < t_raw

@@ -1,0 +1,58 @@
+"""Unit tests for the Hash and Mini application-level baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ShuffleModel
+from repro.core.strategies import STRATEGIES, hash_assignment, mini_assignment
+from tests.conftest import random_model
+
+
+class TestHash:
+    def test_modulus_assignment(self):
+        m = ShuffleModel(h=np.ones((3, 7)), rate=1.0)
+        dest = hash_assignment(m)
+        np.testing.assert_array_equal(dest, np.arange(7) % 3)
+
+    def test_spreads_partitions_evenly(self):
+        m = ShuffleModel(h=np.ones((4, 40)), rate=1.0)
+        counts = np.bincount(hash_assignment(m), minlength=4)
+        np.testing.assert_array_equal(counts, 10)
+
+
+class TestMini:
+    def test_keeps_largest_chunk_local(self):
+        h = np.array([[1.0, 9.0], [5.0, 2.0], [2.0, 2.0]])
+        dest = mini_assignment(ShuffleModel(h=h, rate=1.0))
+        np.testing.assert_array_equal(dest, [1, 0])
+
+    def test_globally_minimizes_traffic(self, rng):
+        # Partitions are independent in the traffic objective, so Mini's
+        # per-partition greedy is the global optimum: no random assignment
+        # can move fewer bytes.
+        m = random_model(rng, 5, 10)
+        best = m.evaluate(mini_assignment(m)).traffic
+        for _ in range(50):
+            dest = rng.integers(0, 5, size=10)
+            assert m.evaluate(dest).traffic >= best - 1e-9
+
+    def test_tie_breaks_to_lowest_node(self):
+        # Uniform chunks: argmax picks node 0 everywhere -- the degenerate
+        # "flush everything to one node" behaviour the paper describes at
+        # zipf = 0.
+        m = ShuffleModel(h=np.ones((4, 8)), rate=1.0)
+        np.testing.assert_array_equal(mini_assignment(m), 0)
+
+    def test_empty_model(self):
+        m = ShuffleModel(h=np.zeros((3, 0)), rate=1.0)
+        assert mini_assignment(m).shape == (0,)
+
+
+class TestRegistry:
+    def test_contains_both_baselines(self):
+        assert set(STRATEGIES) == {"hash", "mini"}
+
+    def test_entries_are_callable(self, small_model):
+        for fn in STRATEGIES.values():
+            dest = fn(small_model)
+            assert dest.shape == (small_model.p,)

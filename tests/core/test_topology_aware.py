@@ -1,0 +1,120 @@
+"""Tests for the topology-aware co-optimization extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import ccf_heuristic
+from repro.core.model import ShuffleModel
+from repro.core.topology_aware import (
+    ccf_heuristic_topology,
+    evaluate_on_topology,
+)
+from repro.network.topology import TwoLevelTopology
+from tests.conftest import random_model
+
+
+def make_topo(n, per_rack, over=4.0, rate=1.0):
+    return TwoLevelTopology(
+        n_hosts=n, hosts_per_rack=per_rack, host_rate=rate, oversubscription=over
+    )
+
+
+class TestEvaluateOnTopology:
+    def test_matches_flat_model_at_full_bisection_allcross(self, rng):
+        # One host per rack: uplink rate == NIC rate, every flow crosses
+        # racks, so the topology evaluation equals the flat closed form.
+        m = random_model(rng, 6, 12, rate=1.0)
+        topo = make_topo(6, 1, over=1.0)
+        dest = rng.integers(0, 6, size=12)
+        tm = evaluate_on_topology(m, topo, dest)
+        assert tm.cct == pytest.approx(m.evaluate(dest).cct)
+
+    def test_oversubscription_inflates(self, rng):
+        m = random_model(rng, 6, 12, rate=1.0)
+        dest = rng.integers(0, 6, size=12)
+        mild = evaluate_on_topology(m, make_topo(6, 3, over=1.0), dest)
+        harsh = evaluate_on_topology(m, make_topo(6, 3, over=10.0), dest)
+        assert harsh.cct >= mild.cct - 1e-12
+        assert harsh.uplink_bound
+
+    def test_intra_rack_assignment_avoids_uplinks(self):
+        # Two racks; all data of partition 0 lives in rack 0.  Assigning
+        # it within rack 0 keeps the uplinks idle.
+        h = np.array([[4.0], [4.0], [0.0], [0.0]])
+        m = ShuffleModel(h=h, rate=1.0)
+        topo = make_topo(4, 2, over=8.0)
+        inside = evaluate_on_topology(m, topo, np.array([0]))
+        outside = evaluate_on_topology(m, topo, np.array([2]))
+        assert inside.uplink_seconds == 0.0
+        assert outside.uplink_seconds > inside.uplink_seconds
+        assert outside.cct > inside.cct
+
+    def test_node_count_mismatch_rejected(self, rng):
+        m = random_model(rng, 4, 6)
+        with pytest.raises(ValueError, match="differ"):
+            evaluate_on_topology(m, make_topo(6, 2), np.zeros(6, dtype=np.int64))
+
+    def test_initial_flows_hit_uplinks(self):
+        v0 = np.zeros((4, 4))
+        v0[0, 2] = 10.0  # rack 0 -> rack 1
+        m = ShuffleModel(h=np.zeros((4, 1)), v0=v0, rate=1.0)
+        topo = make_topo(4, 2, over=4.0)
+        tm = evaluate_on_topology(m, topo, np.array([0]))
+        assert tm.uplink_seconds == pytest.approx(10.0 / topo.uplink_rate(0))
+
+
+class TestTopologyAwareHeuristic:
+    def test_matches_flat_heuristic_when_one_host_per_rack(self, rng):
+        # Full bisection, one host per rack: rack terms duplicate the NIC
+        # terms, so the topology-aware greedy T equals the flat greedy T.
+        m = random_model(rng, 5, 10, rate=1.0)
+        topo = make_topo(5, 1, over=1.0)
+        flat = ccf_heuristic(m, locality_tiebreak=True)
+        aware = ccf_heuristic_topology(m, topo)
+        t_flat = evaluate_on_topology(m, topo, flat).cct
+        t_aware = evaluate_on_topology(m, topo, aware).cct
+        assert t_aware == pytest.approx(t_flat)
+
+    def test_beats_flat_heuristic_under_oversubscription(self):
+        # Rack-local data: the flat greedy spreads destinations for NIC
+        # balance and saturates uplinks; the aware greedy keeps partitions
+        # in their racks.
+        rng = np.random.default_rng(1)
+        n, p = 8, 32
+        racks = np.arange(n) // 4
+        h = np.zeros((n, p))
+        for k in range(p):
+            home = k % 2  # partition data concentrated in one rack
+            holders = np.flatnonzero(racks == home)
+            h[holders, k] = rng.integers(5, 15, holders.size)
+        m = ShuffleModel(h=h, rate=1.0)
+        topo = make_topo(n, 4, over=8.0)
+        flat = ccf_heuristic(m)
+        aware = ccf_heuristic_topology(m, topo)
+        t_flat = evaluate_on_topology(m, topo, flat).cct
+        t_aware = evaluate_on_topology(m, topo, aware).cct
+        assert t_aware <= t_flat + 1e-9
+        assert evaluate_on_topology(m, topo, aware).uplink_seconds <= \
+            evaluate_on_topology(m, topo, flat).uplink_seconds + 1e-9
+
+    def test_incremental_loads_match_evaluation(self, rng):
+        # The greedy's final T (recomputed via evaluate) must be a valid
+        # assignment with in-range destinations.
+        m = random_model(rng, 6, 14, rate=1.0)
+        topo = make_topo(6, 2, over=3.0)
+        dest = ccf_heuristic_topology(m, topo)
+        assert ((dest >= 0) & (dest < 6)).all()
+        tm = evaluate_on_topology(m, topo, dest)
+        assert tm.cct >= 0
+
+    def test_empty_and_single_node(self):
+        m = ShuffleModel(h=np.zeros((1, 3)), rate=1.0)
+        topo = make_topo(1, 1)
+        np.testing.assert_array_equal(
+            ccf_heuristic_topology(m, topo), np.zeros(3, dtype=np.int64)
+        )
+
+    def test_mismatch_rejected(self, rng):
+        m = random_model(rng, 4, 6)
+        with pytest.raises(ValueError, match="differ"):
+            ccf_heuristic_topology(m, make_topo(8, 2))

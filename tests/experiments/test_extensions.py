@@ -1,0 +1,82 @@
+"""Tests for the extension experiments (trace / online / topology)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    run_online_vs_oblivious,
+    run_topology_sweep,
+    run_trace_schedulers,
+)
+
+
+class TestTraceSchedulers:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_trace_schedulers(
+            n_ports=16, n_coflows=40, arrival_rate=3.0, deadline_fraction=0.3
+        )
+
+    def test_all_disciplines_present(self, table):
+        names = table.column("scheduler")
+        assert {"fair", "sebf", "dclas", "deadline"} <= set(names)
+
+    def test_sebf_beats_fair_on_average_cct(self, table):
+        named = {r[0]: dict(zip(table.columns, r)) for r in table.rows}
+        assert named["sebf"]["avg_cct_s"] <= named["fair"]["avg_cct_s"] + 1e-9
+
+    def test_deadline_scheduler_hits_most_deadlines(self, table):
+        named = {r[0]: dict(zip(table.columns, r)) for r in table.rows}
+        hit = named["deadline"]["deadline_hit_%"]
+        assert hit >= named["fifo"]["deadline_hit_%"] - 1e-9
+        assert hit >= 80.0
+
+    def test_slowdowns_at_least_one(self, table):
+        for v in table.column("avg_slowdown"):
+            assert v >= 1.0 - 1e-9
+
+
+class TestOnlineVsOblivious:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_online_vs_oblivious(n_nodes=12, n_jobs=5, inter_arrival=0.4)
+
+    def test_online_wins_on_average_cct(self, table):
+        named = {r[0]: dict(zip(table.columns, r)) for r in table.rows}
+        assert (
+            named["online"]["avg_cct_s"] < named["oblivious"]["avg_cct_s"]
+        )
+
+    def test_online_wins_on_makespan(self, table):
+        named = {r[0]: dict(zip(table.columns, r)) for r in table.rows}
+        assert (
+            named["online"]["makespan_s"] <= named["oblivious"]["makespan_s"] + 1e-9
+        )
+
+
+class TestTopologySweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_topology_sweep(
+            n_nodes=12, hosts_per_rack=4, oversubscriptions=(1.0, 4.0, 8.0)
+        )
+
+    def test_aware_never_worse(self, table):
+        for flat, aware in zip(
+            table.column("flat_cct_s"), table.column("aware_cct_s")
+        ):
+            assert aware <= flat + 1e-9
+
+    def test_aware_strictly_wins_when_oversubscribed(self, table):
+        flat = table.column("flat_cct_s")
+        aware = table.column("aware_cct_s")
+        assert aware[-1] < flat[-1]
+
+    def test_equal_at_full_bisection_or_close(self, table):
+        flat = table.column("flat_cct_s")
+        aware = table.column("aware_cct_s")
+        assert aware[0] == pytest.approx(flat[0], rel=0.15)
+
+    def test_flat_cct_grows_with_oversubscription(self, table):
+        flat = table.column("flat_cct_s")
+        assert flat == sorted(flat)

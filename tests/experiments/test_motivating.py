@@ -1,0 +1,56 @@
+"""The motivating example must reproduce the paper's published numbers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.motivating import MotivatingExample, run_motivating
+
+
+@pytest.fixture(scope="module")
+def example():
+    return MotivatingExample.build()
+
+
+class TestPaperNumbers:
+    def test_hash_traffic_is_8(self, example):
+        assert example.traffic(example.sp0_hash) == 8.0
+
+    def test_sp1_traffic_is_7_and_cct_3(self, example):
+        assert example.traffic(example.sp1_suboptimal) == 7.0
+        assert example.optimal_cct(example.sp1_suboptimal) == 3.0
+
+    def test_sp2_traffic_is_6_and_cct_4(self, example):
+        assert example.traffic(example.sp2_traffic_optimal) == 6.0
+        assert example.optimal_cct(example.sp2_traffic_optimal) == 4.0
+
+    def test_worst_schedule_of_sp2_is_6(self, example):
+        assert example.simulated_cct(
+            example.sp2_traffic_optimal, "sequential"
+        ) == pytest.approx(6.0)
+
+    def test_optimal_coflow_schedule_of_sp2_is_4(self, example):
+        assert example.simulated_cct(
+            example.sp2_traffic_optimal, "sebf"
+        ) == pytest.approx(4.0)
+
+    def test_ccf_heuristic_finds_cct_3(self, example):
+        assert example.optimal_cct(example.ccf_dest) == 3.0
+
+    def test_suboptimal_traffic_beats_optimal_traffic_on_cct(self, example):
+        # The paper's core observation: less traffic != less time.
+        assert example.traffic(example.sp1_suboptimal) > example.traffic(
+            example.sp2_traffic_optimal
+        )
+        assert example.optimal_cct(example.sp1_suboptimal) < example.optimal_cct(
+            example.sp2_traffic_optimal
+        )
+
+
+class TestTable:
+    def test_runs_and_contains_all_plans(self):
+        table = run_motivating()
+        plans = table.column("plan")
+        assert len(plans) == 4
+        assert any("hash" in p for p in plans)
+        rendered = table.render()
+        assert "Motivating" in rendered

@@ -1,0 +1,42 @@
+"""The paper-claim verifier must pass on a fresh build."""
+
+import pytest
+
+from repro.experiments.paper_check import run_paper_check
+
+
+@pytest.fixture(scope="module")
+def table():
+    # Reduced scale: the claims are shape/ratio statements, invariant to
+    # the analytic workload's scale factor.
+    return run_paper_check(scale_factor=20.0, n_nodes=40)
+
+
+class TestPaperCheck:
+    def test_every_claim_passes(self, table):
+        verdicts = table.column("verdict")
+        failing = [
+            (s, c)
+            for s, c, v in zip(
+                table.column("source"), table.column("claim"), verdicts
+            )
+            if v != "PASS"
+        ]
+        assert not failing, f"published claims broken: {failing}"
+
+    def test_covers_all_figures(self, table):
+        sources = set(table.column("source"))
+        assert {"Fig.1", "Fig.2(a)", "Fig.2(b)", "Fig.2(c)"} <= sources
+        assert any(s.startswith("Fig.5") for s in sources)
+        assert any(s.startswith("Fig.6") for s in sources)
+        assert any(s.startswith("Fig.7") for s in sources)
+
+    def test_claim_count(self, table):
+        assert len(table.rows) == 15
+
+    def test_cli_verify_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--scale-factor", "20", "--nodes", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "15/15 claims verified" in out

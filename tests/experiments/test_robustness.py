@@ -1,0 +1,68 @@
+"""Tests for the robustness experiment and keyed group-by."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.experiments.robustness import run_robustness
+from repro.join.multikey import KeyedGroupBy
+from repro.workloads.tpch import TPCHConfig, generate_tpch_keyed
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_robustness(
+            n_nodes=8, scale_factor=0.1, n_jobs=3, schedulers=("fair", "sebf")
+        )
+
+    def test_degradation_inflates_cct(self, table):
+        for healthy, degraded in zip(
+            table.column("healthy"), table.column("degraded")
+        ):
+            assert degraded >= healthy - 1e-9
+
+    def test_inflation_column_consistent(self, table):
+        for h, d, x in zip(
+            table.column("healthy"),
+            table.column("degraded"),
+            table.column("inflation_x"),
+        ):
+            assert x == pytest.approx(d / h)
+
+    def test_sebf_not_worse_than_fair_when_degraded(self, table):
+        named = {r[0]: dict(zip(table.columns, r)) for r in table.rows}
+        assert named["sebf"]["degraded"] <= named["fair"]["degraded"] + 1e-9
+
+
+class TestKeyedGroupBy:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return generate_tpch_keyed(
+            TPCHConfig(n_nodes=4, scale_factor=0.002, skew=0.2, seed=5)
+        )
+
+    @pytest.mark.parametrize("strategy", ["hash", "mini", "ccf"])
+    def test_groups_match_centralized(self, schema, strategy):
+        agg = KeyedGroupBy(schema["orders"], by="custkey")
+        plan = CCF(skew_handling=False).plan(agg, strategy)
+        groups, traffic = agg.execute(plan)
+        assert groups == agg.expected_groups()
+        assert traffic >= 0
+
+    def test_group_by_orderkey_on_lineitem(self, schema):
+        agg = KeyedGroupBy(schema["lineitem"], by="orderkey")
+        plan = CCF(skew_handling=False).plan(agg, "ccf")
+        groups, _ = agg.execute(plan)
+        li = np.concatenate(schema["lineitem"].columns["orderkey"])
+        assert sum(groups.values()) == li.size
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(ValueError, match="group column"):
+            KeyedGroupBy(schema["lineitem"], by="custkey")
+
+    def test_pre_aggregation_shrinks_model(self, schema):
+        agg = KeyedGroupBy(schema["orders"], by="custkey")
+        model = agg.shuffle_model()
+        raw_bytes = schema["orders"].total_bytes
+        assert model.h.sum() < raw_bytes  # partials < raw rows (skewed key)

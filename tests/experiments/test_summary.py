@@ -1,0 +1,36 @@
+"""Tests for the at-a-glance summary."""
+
+import pytest
+
+from repro.experiments.summary import run_summary
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_summary()
+
+
+class TestSummary:
+    def test_all_headlines_present(self, table):
+        headlines = " ".join(table.column("headline"))
+        for fig in ("Fig.1", "Fig.2", "Fig.5", "Fig.6", "Fig.7"):
+            assert fig in headlines
+
+    def test_motivating_rows_exact(self, table):
+        rows = {r[0]: r for r in table.rows}
+        row = rows["Fig.1 traffic of hash / suboptimal / minimal plans"]
+        assert row[1] == row[2]  # byte-for-byte match with the paper
+
+    def test_fig5_band_overlaps_paper(self, table):
+        rows = {r[0]: r for r in table.rows}
+        build = rows["Fig.5 CCF speedup over Mini (100 -> 1000 nodes)"][2]
+        lo, hi = (float(x.rstrip("x")) for x in build.split(" - "))
+        # The paper band is 8.1-15.2x; ours must overlap it broadly.
+        assert lo < 15.2 and hi > 8.1
+
+    def test_runs_fast_enough_for_a_cli_default(self):
+        import time
+
+        start = time.perf_counter()
+        run_summary()
+        assert time.perf_counter() - start < 10

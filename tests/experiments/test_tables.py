@@ -1,0 +1,65 @@
+"""Unit tests for the result-table renderer."""
+
+import pytest
+
+from repro.experiments.tables import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(title="demo", columns=["x", "y"])
+    t.add_row(1, 2.5)
+    t.add_row(10, 0.001)
+    return t
+
+
+class TestAddRow:
+    def test_positional(self, table):
+        assert table.rows == [[1, 2.5], [10, 0.001]]
+
+    def test_named(self):
+        t = ResultTable(title="t", columns=["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows == [[1, 2]]
+
+    def test_named_missing_column(self):
+        t = ResultTable(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError, match="missing"):
+            t.add_row(a=1)
+
+    def test_wrong_arity(self, table):
+        with pytest.raises(ValueError, match="expected 2"):
+            table.add_row(1)
+
+    def test_mixed_rejected(self, table):
+        with pytest.raises(ValueError, match="either"):
+            table.add_row(1, y=2)
+
+
+class TestAccessors:
+    def test_column(self, table):
+        assert table.column("x") == [1, 10]
+
+    def test_column_missing(self, table):
+        with pytest.raises(ValueError):
+            table.column("z")
+
+
+class TestRendering:
+    def test_render_contains_title_and_values(self, table):
+        out = table.render()
+        assert "demo" in out and "2.50" in out and "0.001" in out
+
+    def test_notes_rendered(self, table):
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_markdown(self, table):
+        md = table.to_markdown()
+        assert md.startswith("**demo**")
+        assert "| x | y |" in md
+        assert "|---|---|" in md
+
+    def test_render_all(self, table):
+        combined = ResultTable.render_all([table, table])
+        assert combined.count("demo") == 2

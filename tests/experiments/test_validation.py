@@ -1,0 +1,72 @@
+"""Tests for the model-validation experiment and the ccf-ls strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.experiments.validation import run_model_validation
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+class TestModelValidation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_model_validation(
+            n_nodes=4, scale_factor=0.02, seeds=(0, 1)
+        )
+
+    def test_all_strategies_validated(self, table):
+        assert table.column("strategy") == ["hash", "mini", "ccf"]
+
+    def test_errors_small(self, table):
+        # The analytic model must track tuple-level runs within a few
+        # percent at this sample size.
+        for col in table.columns[1:]:
+            for v in table.column(col):
+                assert v < 8.0, f"{col} error {v}% too large"
+
+    def test_mean_not_above_max(self, table):
+        for metric in ("traffic", "cct"):
+            means = table.column(f"{metric}_err_mean_%")
+            maxes = table.column(f"{metric}_err_max_%")
+            assert all(m <= x + 1e-12 for m, x in zip(means, maxes))
+
+
+class TestCcfLsStrategy:
+    def test_ls_never_worse_than_plain_ccf(self):
+        wl = AnalyticJoinWorkload(n_nodes=12, scale_factor=0.2)
+        ccf = CCF()
+        plain = ccf.plan(wl, "ccf")
+        polished = ccf.plan(wl, "ccf-ls")
+        assert polished.bottleneck_bytes <= plain.bottleneck_bytes + 1e-9
+
+    def test_ls_fixes_adversarial_instance(self):
+        from repro.core.model import ShuffleModel
+        from tests.core.test_localsearch import ADVERSARIAL
+
+        m = ShuffleModel(h=ADVERSARIAL.copy(), rate=1.0)
+        ccf = CCF()
+        t_plain = ccf.plan(m, "ccf").bottleneck_bytes
+        t_ls = ccf.plan(m, "ccf-ls").bottleneck_bytes
+        assert t_ls < t_plain
+
+    def test_unknown_strategy_message_mentions_ls(self):
+        wl = AnalyticJoinWorkload(n_nodes=3, scale_factor=0.01)
+        with pytest.raises(ValueError, match="ccf-ls"):
+            CCF().plan(wl, "bogus")
+
+
+class TestCsvExport:
+    def test_round_trips_through_csv_reader(self):
+        import csv
+        import io
+
+        from repro.experiments.tables import ResultTable
+
+        t = ResultTable(title="t", columns=["a", "b,with,commas"])
+        t.add_row(1, 'va"l')
+        t.add_row(2, "plain")
+        rows = list(csv.reader(io.StringIO(t.to_csv())))
+        assert rows[0] == ["a", "b,with,commas"]
+        assert rows[1] == ["1", 'va"l']
+        assert rows[2] == ["2", "plain"]

@@ -1,0 +1,120 @@
+"""Tests for broadcast joins and the compiler's cost-based choice."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.compile import QueryExecutor
+from repro.analytics.logical import EquiJoin, Scan
+from repro.analytics.queries import build_tpch_catalog
+from repro.core.framework import CCF
+from repro.join.broadcast import BroadcastJoin
+from repro.join.operators import DistributedJoin
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+from repro.workloads.tpch import TPCHConfig
+
+
+def tiny_and_huge(n_nodes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    small = DistributedRelation.from_placement(
+        rng.integers(0, 20, 10), rng.integers(0, n_nodes, 10), n_nodes,
+        payload_bytes=10.0,
+    )
+    big = DistributedRelation.from_placement(
+        rng.integers(0, 20, 2000), rng.integers(0, n_nodes, 2000), n_nodes,
+        payload_bytes=10.0,
+    )
+    return small, big
+
+
+class TestBroadcastJoin:
+    def test_cardinality_matches_centralized(self):
+        small, big = tiny_and_huge()
+        bj = BroadcastJoin(small, big, rate=1.0)
+        result = bj.execute()
+        assert result.cardinality == bj.expected_cardinality()
+
+    def test_traffic_is_n_minus_1_copies(self):
+        small, big = tiny_and_huge()
+        bj = BroadcastJoin(small, big, rate=1.0)
+        assert bj.broadcast_traffic() == pytest.approx(4 * small.total_bytes)
+        assert bj.execute().realized_traffic == bj.broadcast_traffic()
+
+    def test_shuffle_model_has_no_partitions(self):
+        small, big = tiny_and_huge()
+        model = BroadcastJoin(small, big, rate=1.0).shuffle_model()
+        assert model.p == 0
+        assert model.v0.sum() == pytest.approx(4 * small.total_bytes)
+
+    def test_beats_repartition_for_tiny_small_side(self):
+        small, big = tiny_and_huge()
+        bj = BroadcastJoin(small, big, rate=1.0)
+        join = DistributedJoin(
+            small, big, partitioner=HashPartitioner(25), skew_factor=1e9,
+            rate=1.0,
+        )
+        repart = CCF(skew_handling=False).plan(join, "ccf")
+        assert bj.plan().cct < repart.cct
+        assert bj.broadcast_traffic() < repart.traffic
+
+    def test_materialized_result(self):
+        small, big = tiny_and_huge()
+        bj = BroadcastJoin(small, big, rate=1.0)
+        result = bj.execute(materialize=True)
+        assert result.result is not None
+        assert result.result.total_tuples == result.cardinality
+        # The result lives where the big side lives: its per-node counts
+        # match the per-node cardinalities.
+        np.testing.assert_array_equal(
+            result.result.shard_tuples(), result.per_node_cardinality
+        )
+
+    def test_node_mismatch_rejected(self):
+        a = DistributedRelation(shards=[np.array([1])])
+        b = DistributedRelation(shards=[np.array([1]), np.array([2])])
+        with pytest.raises(ValueError, match="same nodes"):
+            BroadcastJoin(a, b)
+
+
+class TestCompilerCostBasedChoice:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        # Broadcast of the small side loses once n * |small| exceeds the
+        # repartition share: with ORDERS = 10 x CUSTOMER the crossover is
+        # around n = 11, so at 16 nodes CUSTOMER ⋈ ORDERS repartitions
+        # while a truly tiny dimension table still broadcasts.
+        n = 16
+        cat = build_tpch_catalog(
+            TPCHConfig(n_nodes=n, scale_factor=0.002, skew=0.2, seed=2)
+        )
+        rng = np.random.default_rng(1)
+        tiny = DistributedRelation.from_placement(
+            np.arange(1, 6), rng.integers(0, n, 5), n, payload_bytes=1000.0
+        )
+        cat.register("tiny_dim", tiny)
+        return cat
+
+    def test_broadcast_chosen_for_tiny_dimension(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        result = ex.execute(EquiJoin(Scan("tiny_dim"), Scan("orders")))
+        assert [s.name for s in result.stages] == ["broadcast-join"]
+        # Correctness unchanged.
+        from repro.join.local import join_cardinality
+
+        expected = join_cardinality(
+            catalog.relation("tiny_dim").all_keys(),
+            catalog.relation("orders").all_keys(),
+        )
+        assert result.rows == expected
+
+    def test_repartition_kept_when_sides_comparable(self, catalog):
+        ex = QueryExecutor(catalog, skew_factor=50.0)
+        result = ex.execute(EquiJoin(Scan("customer"), Scan("orders")))
+        assert [s.name for s in result.stages] == ["join"]
+
+    def test_broadcast_can_be_disabled(self, catalog):
+        ex = QueryExecutor(
+            catalog, skew_factor=50.0, enable_broadcast=False
+        )
+        result = ex.execute(EquiJoin(Scan("tiny_dim"), Scan("orders")))
+        assert [s.name for s in result.stages] == ["join"]

@@ -1,0 +1,53 @@
+"""Unit tests for local join processing."""
+
+import numpy as np
+
+from repro.join.local import join_cardinality, local_hash_join
+
+
+def naive_cardinality(left, right):
+    return sum(int(l == r) for l in left for r in right)
+
+
+class TestJoinCardinality:
+    def test_simple(self):
+        assert join_cardinality(np.array([1, 2, 3]), np.array([2, 2, 4])) == 2
+
+    def test_multiplicities(self):
+        left = np.array([5, 5, 5])
+        right = np.array([5, 5])
+        assert join_cardinality(left, right) == 6
+
+    def test_disjoint(self):
+        assert join_cardinality(np.array([1]), np.array([2])) == 0
+
+    def test_empty_sides(self):
+        assert join_cardinality(np.array([], dtype=np.int64), np.array([1])) == 0
+        assert join_cardinality(np.array([1]), np.array([], dtype=np.int64)) == 0
+
+    def test_matches_naive_on_random_input(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            left = rng.integers(0, 15, size=rng.integers(0, 40))
+            right = rng.integers(0, 15, size=rng.integers(0, 40))
+            assert join_cardinality(left, right) == naive_cardinality(left, right)
+
+    def test_no_overflow_on_large_counts(self):
+        left = np.full(100_000, 7)
+        right = np.full(100_000, 7)
+        assert join_cardinality(left, right) == 100_000 ** 2
+
+
+class TestLocalHashJoin:
+    def test_result_keys_with_multiplicity(self):
+        out = local_hash_join(np.array([1, 1, 2]), np.array([1, 2, 2]))
+        assert out.tolist() == [1, 1, 2, 2]
+
+    def test_empty(self):
+        assert local_hash_join(np.array([], dtype=np.int64), np.array([1])).size == 0
+
+    def test_cardinality_consistent(self):
+        rng = np.random.default_rng(9)
+        left = rng.integers(0, 10, 30)
+        right = rng.integers(0, 10, 30)
+        assert local_hash_join(left, right).size == join_cardinality(left, right)

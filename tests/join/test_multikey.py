@@ -1,0 +1,195 @@
+"""Tests for keyed relations and multi-key joins."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.join.multikey import (
+    KeyedEquiJoin,
+    KeyedRelation,
+    execute_keyed_shuffle,
+    local_keyed_join,
+)
+from repro.join.partitioner import HashPartitioner
+from repro.workloads.tpch import TPCHConfig, generate_tpch_keyed
+
+
+@pytest.fixture
+def keyed():
+    return KeyedRelation(
+        columns={
+            "a": [np.array([1, 2]), np.array([3])],
+            "b": [np.array([10, 20]), np.array([30])],
+        },
+        payload_bytes=8.0,
+    )
+
+
+class TestKeyedRelation:
+    def test_basic(self, keyed):
+        assert keyed.n_nodes == 2
+        assert keyed.total_tuples == 3
+        assert keyed.total_bytes == 24.0
+        assert set(keyed.column_names) == {"a", "b"}
+
+    def test_parallel_columns_enforced(self):
+        with pytest.raises(ValueError, match="lengths"):
+            KeyedRelation(
+                columns={"a": [np.array([1])], "b": [np.array([1, 2])]}
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            KeyedRelation(columns={})
+
+    def test_project(self, keyed):
+        rel = keyed.project("b")
+        assert sorted(rel.all_keys().tolist()) == [10, 20, 30]
+        with pytest.raises(ValueError, match="unknown column"):
+            keyed.project("c")
+
+    def test_select_filters_rows_consistently(self, keyed):
+        out = keyed.select("a", lambda v: v % 2 == 1)
+        assert sorted(out.columns["a"][0].tolist() + out.columns["a"][1].tolist()) == [1, 3]
+        assert sorted(out.columns["b"][0].tolist() + out.columns["b"][1].tolist()) == [10, 30]
+
+    def test_from_rows_round_trip(self):
+        cols = {"x": np.array([5, 6, 7]), "y": np.array([50, 60, 70])}
+        nodes = np.array([1, 0, 1])
+        rel = KeyedRelation.from_rows(cols, nodes, 2)
+        assert rel.columns["x"][0].tolist() == [6]
+        assert rel.columns["y"][1].tolist() == [50, 70]
+
+    def test_from_rows_nonparallel_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            KeyedRelation.from_rows(
+                {"x": np.array([1, 2]), "y": np.array([1])},
+                np.array([0, 0]),
+                1,
+            )
+
+
+class TestLocalKeyedJoin:
+    def test_columns_carried_through(self):
+        left = {"k": np.array([1, 2, 2]), "lv": np.array([10, 20, 21])}
+        right = {"k": np.array([2, 3]), "rv": np.array([200, 300])}
+        out = local_keyed_join(left, right, on="k")
+        assert sorted(out["k"].tolist()) == [2, 2]
+        assert sorted(out["lv"].tolist()) == [20, 21]
+        assert out["rv"].tolist() == [200, 200]
+
+    def test_multiplicities(self):
+        left = {"k": np.array([7, 7])}
+        right = {"k": np.array([7, 7, 7])}
+        out = local_keyed_join(left, right, on="k")
+        assert out["k"].size == 6
+
+    def test_empty_intersection(self):
+        out = local_keyed_join(
+            {"k": np.array([1])}, {"k": np.array([2])}, on="k"
+        )
+        assert out["k"].size == 0
+
+    def test_collision_detected(self):
+        left = {"k": np.array([1]), "v": np.array([1])}
+        right = {"k": np.array([1]), "v": np.array([2])}
+        with pytest.raises(ValueError, match="collision"):
+            local_keyed_join(left, right, on="k")
+
+    def test_prefixes_resolve_collisions(self):
+        left = {"k": np.array([1]), "v": np.array([10])}
+        right = {"k": np.array([1]), "v": np.array([20])}
+        out = local_keyed_join(
+            left, right, on="k", left_prefix="l_", right_prefix="r_"
+        )
+        assert out["l_v"].tolist() == [10]
+        assert out["r_v"].tolist() == [20]
+
+
+class TestKeyedShuffle:
+    def test_rows_stay_parallel(self, keyed):
+        part = HashPartitioner(p=4)
+        dest = np.array([0, 1, 0, 1], dtype=np.int64)
+        out, vol = execute_keyed_shuffle(keyed, part, dest, on="a")
+        # Pairing between a and b preserved: b == 10 * a everywhere.
+        for node in range(2):
+            rows = out.node_rows(node)
+            np.testing.assert_array_equal(rows["b"], rows["a"] * 10)
+        assert vol.sum() == keyed.total_bytes
+
+    def test_colocation_by_join_column(self, keyed):
+        part = HashPartitioner(p=4)
+        dest = np.array([1, 1, 1, 1], dtype=np.int64)
+        out, _ = execute_keyed_shuffle(keyed, part, dest, on="a")
+        assert out.node_rows(0)["a"].size == 0
+        assert out.node_rows(1)["a"].size == 3
+
+
+class TestKeyedEquiJoin:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return generate_tpch_keyed(
+            TPCHConfig(n_nodes=4, scale_factor=0.002, skew=0.2, seed=8)
+        )
+
+    def expected_three_way(self, schema):
+        """Centralized |customer ⋈ orders ⋈ lineitem| via key counting."""
+        cust = np.concatenate(schema["customer"].columns["custkey"])
+        ord_ck = np.concatenate(schema["orders"].columns["custkey"])
+        ord_ok = np.concatenate(schema["orders"].columns["orderkey"])
+        li_ok = np.concatenate(schema["lineitem"].columns["orderkey"])
+        cust_set = set(cust.tolist())
+        li_keys, li_counts = np.unique(li_ok, return_counts=True)
+        li_map = dict(zip(li_keys.tolist(), li_counts.tolist()))
+        total = 0
+        for ck, ok in zip(ord_ck.tolist(), ord_ok.tolist()):
+            if ck in cust_set:
+                total += li_map.get(ok, 0)
+        return total
+
+    @pytest.mark.parametrize("strategy", ["hash", "mini", "ccf"])
+    def test_three_way_pipeline_correct(self, schema, strategy):
+        ccf = CCF(skew_handling=False)
+        stage1 = KeyedEquiJoin(
+            schema["customer"], schema["orders"], on="custkey"
+        )
+        plan1 = ccf.plan(stage1, strategy)
+        mid = stage1.execute(plan1)
+
+        stage2 = KeyedEquiJoin(mid.result, schema["lineitem"], on="orderkey")
+        plan2 = ccf.plan(stage2, strategy)
+        final = stage2.execute(plan2)
+
+        assert final.cardinality == self.expected_three_way(schema)
+        assert final.realized_traffic > 0
+
+    def test_intermediate_carries_orderkey(self, schema):
+        ccf = CCF(skew_handling=False)
+        stage1 = KeyedEquiJoin(
+            schema["customer"], schema["orders"], on="custkey"
+        )
+        mid = stage1.execute(ccf.plan(stage1, "ccf"))
+        assert "orderkey" in mid.result.column_names
+        assert "custkey" in mid.result.column_names
+
+    def test_ccf_not_slower_for_each_stage(self, schema):
+        ccf = CCF(skew_handling=False)
+        stage = KeyedEquiJoin(
+            schema["customer"], schema["orders"], on="custkey"
+        )
+        t = {
+            s: ccf.plan(stage, s).cct for s in ("hash", "mini", "ccf")
+        }
+        assert t["ccf"] <= t["hash"] + 1e-9
+        assert t["ccf"] <= t["mini"] + 1e-9
+
+    def test_missing_join_column_rejected(self, schema):
+        with pytest.raises(ValueError, match="lacks join column"):
+            KeyedEquiJoin(
+                schema["customer"], schema["lineitem"], on="custkey"
+            )
+
+    def test_node_mismatch_rejected(self, schema):
+        other = KeyedRelation(columns={"custkey": [np.array([1])]})
+        with pytest.raises(ValueError, match="same nodes"):
+            KeyedEquiJoin(schema["customer"], other, on="custkey")

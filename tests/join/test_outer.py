@@ -1,0 +1,134 @@
+"""Tests for distributed outer joins and semi-join reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.join.outer import DistributedOuterJoin, semijoin_reduction
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+def naive_left_outer(left_keys, right_keys):
+    """Reference: row count of LEFT OUTER JOIN."""
+    total = 0
+    right = list(right_keys)
+    for lk in left_keys:
+        matches = sum(1 for rk in right if rk == lk)
+        total += matches if matches else 1
+    return total
+
+
+class TestDistributedOuterJoin:
+    @pytest.fixture(scope="class")
+    def join(self):
+        # Left keys span 1..300 but right FKs only hit a third of them
+        # (plus a hot key), so plenty of left rows are unmatched.
+        rng = np.random.default_rng(7)
+        left = DistributedRelation.from_placement(
+            np.arange(1, 301), rng.integers(0, 4, 300), 4,
+            payload_bytes=100.0,
+        )
+        right_keys = rng.integers(1, 101, size=600)
+        right_keys[:150] = 1  # skew
+        right = DistributedRelation.from_placement(
+            right_keys, rng.integers(0, 4, 600), 4, payload_bytes=100.0
+        )
+        return DistributedOuterJoin(
+            left, right, partitioner=HashPartitioner(60), skew_factor=20.0
+        )
+
+    def test_expected_cardinality_matches_naive_small(self):
+        left = DistributedRelation(shards=[np.array([1, 2, 2, 5])])
+        right = DistributedRelation(shards=[np.array([2, 2, 7])])
+        oj = DistributedOuterJoin(left, right, partitioner=HashPartitioner(4))
+        assert oj.expected_cardinality() == naive_left_outer(
+            [1, 2, 2, 5], [2, 2, 7]
+        )
+
+    @pytest.mark.parametrize("strategy", ["hash", "mini", "ccf"])
+    def test_execution_matches_centralized(self, join, strategy):
+        plan = CCF().plan(join, strategy)
+        result = join.execute_outer(plan)
+        assert result.cardinality == join.expected_cardinality()
+
+    def test_unmatched_accounting(self, join):
+        plan = CCF().plan(join, "ccf")
+        result = join.execute_outer(plan)
+        assert result.cardinality == result.matched + result.unmatched_left
+        assert result.unmatched_left > 0  # some customers have no orders
+
+    def test_same_shuffle_model_as_inner(self, join):
+        inner_model = super(DistributedOuterJoin, join).shuffle_model(
+            skew_handling=True
+        )
+        outer_model = join.shuffle_model(skew_handling=True)
+        np.testing.assert_allclose(inner_model.h, outer_model.h)
+
+
+class TestSemiJoinReduction:
+    def test_filters_non_matching_rows(self):
+        small = DistributedRelation(
+            shards=[np.array([1, 2]), np.array([3])], payload_bytes=8.0
+        )
+        big = DistributedRelation(
+            shards=[np.array([1, 1, 9, 9]), np.array([2, 8])],
+            payload_bytes=100.0,
+        )
+        red = semijoin_reduction(small, big)
+        assert sorted(red.reduced.all_keys().tolist()) == [1, 1, 2]
+        assert red.bytes_saved == pytest.approx(3 * 100.0)
+
+    def test_broadcast_cost_accounting(self):
+        small = DistributedRelation(
+            shards=[np.array([1, 1, 2]), np.array([], np.int64)],
+        )
+        big = DistributedRelation(
+            shards=[np.array([5]), np.array([6])],
+        )
+        red = semijoin_reduction(small, big, key_bytes=10.0)
+        # 2 distinct keys broadcast to 1 other node at 10 B each.
+        assert red.key_broadcast_bytes == pytest.approx(20.0)
+
+    def test_worthwhile_flag(self):
+        small = DistributedRelation(shards=[np.array([1])] * 2)
+        # A big relation where nothing matches: everything is filtered.
+        big = DistributedRelation(
+            shards=[np.full(1000, 9)] * 2, payload_bytes=1000.0
+        )
+        red = semijoin_reduction(small, big)
+        assert red.worthwhile
+        assert red.reduced.total_tuples == 0
+
+    def test_not_worthwhile_when_everything_matches(self):
+        small = DistributedRelation(
+            shards=[np.arange(100), np.arange(100, 200)]
+        )
+        big = DistributedRelation(
+            shards=[np.arange(200), np.array([], np.int64)],
+            payload_bytes=10.0,
+        )
+        red = semijoin_reduction(small, big)
+        assert not red.worthwhile
+        assert red.bytes_saved == 0.0
+
+    def test_reduction_preserves_join_result(self):
+        rng = np.random.default_rng(5)
+        small = DistributedRelation(
+            shards=[rng.integers(0, 30, 40) for _ in range(3)]
+        )
+        big = DistributedRelation(
+            shards=[rng.integers(0, 90, 200) for _ in range(3)]
+        )
+        from repro.join.local import join_cardinality
+
+        before = join_cardinality(small.all_keys(), big.all_keys())
+        red = semijoin_reduction(small, big)
+        after = join_cardinality(small.all_keys(), red.reduced.all_keys())
+        assert before == after
+
+    def test_validation(self):
+        a = DistributedRelation(shards=[np.array([1])])
+        b = DistributedRelation(shards=[np.array([1]), np.array([2])])
+        with pytest.raises(ValueError, match="same nodes"):
+            semijoin_reduction(a, b)
+        with pytest.raises(ValueError, match="key_bytes"):
+            semijoin_reduction(a, a, key_bytes=0.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the hash partitioner and chunk-matrix computation."""
+
+import numpy as np
+import pytest
+
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+
+
+class TestPartitionOf:
+    def test_modulus(self):
+        p = HashPartitioner(p=5)
+        np.testing.assert_array_equal(
+            p.partition_of(np.array([0, 1, 5, 7])), [0, 1, 0, 2]
+        )
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError, match="positive"):
+            HashPartitioner(p=0)
+
+
+class TestChunkMatrix:
+    def setup_method(self):
+        self.rel = DistributedRelation(
+            shards=[np.array([0, 1, 2, 3]), np.array([0, 0, 2])],
+            payload_bytes=10.0,
+        )
+        self.part = HashPartitioner(p=2)
+
+    def test_chunk_tuples(self):
+        counts = self.part.chunk_tuples(self.rel)
+        # Node 0: keys 0,2 -> part 0 (2 tuples); 1,3 -> part 1 (2).
+        # Node 1: keys 0,0,2 -> part 0 (3).
+        np.testing.assert_array_equal(counts, [[2, 2], [3, 0]])
+
+    def test_chunk_matrix_scales_by_payload(self):
+        h = self.part.chunk_matrix(self.rel)
+        np.testing.assert_allclose(h, [[20.0, 20.0], [30.0, 0.0]])
+
+    def test_chunk_matrix_sums_relations(self):
+        other = DistributedRelation(
+            shards=[np.array([1]), np.array([], dtype=np.int64)],
+            payload_bytes=5.0,
+        )
+        h = self.part.chunk_matrix(self.rel, other)
+        np.testing.assert_allclose(h, [[20.0, 25.0], [30.0, 0.0]])
+
+    def test_total_bytes_conserved(self):
+        h = self.part.chunk_matrix(self.rel)
+        assert h.sum() == self.rel.total_bytes
+
+    def test_mismatched_node_counts_rejected(self):
+        other = DistributedRelation(shards=[np.array([1])])
+        with pytest.raises(ValueError, match="node counts"):
+            self.part.chunk_matrix(self.rel, other)
+
+    def test_no_relations_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            self.part.chunk_matrix()
+
+    def test_row_sums_match_shard_bytes(self):
+        rng = np.random.default_rng(1)
+        rel = DistributedRelation(
+            shards=[rng.integers(0, 100, rng.integers(0, 50)) for _ in range(5)],
+            payload_bytes=3.0,
+        )
+        h = HashPartitioner(p=7).chunk_matrix(rel)
+        np.testing.assert_allclose(h.sum(axis=1), rel.shard_tuples() * 3.0)

@@ -1,0 +1,96 @@
+"""Unit tests for DistributedRelation."""
+
+import numpy as np
+import pytest
+
+from repro.join.relation import DistributedRelation
+
+
+class TestConstruction:
+    def test_basic(self):
+        rel = DistributedRelation(
+            shards=[np.array([1, 2]), np.array([3])], payload_bytes=10.0
+        )
+        assert rel.n_nodes == 2
+        assert rel.total_tuples == 3
+        assert rel.total_bytes == 30.0
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            DistributedRelation(shards=[])
+
+    def test_nonpositive_payload_rejected(self):
+        with pytest.raises(ValueError, match="payload"):
+            DistributedRelation(shards=[np.array([1])], payload_bytes=0.0)
+
+    def test_shards_cast_to_int64(self):
+        rel = DistributedRelation(shards=[np.array([1.0, 2.0])])
+        assert rel.shards[0].dtype == np.int64
+
+
+class TestAccessors:
+    def setup_method(self):
+        self.rel = DistributedRelation(
+            shards=[np.array([1, 1, 2]), np.array([2, 3]), np.array([], dtype=np.int64)]
+        )
+
+    def test_shard_tuples(self):
+        np.testing.assert_array_equal(self.rel.shard_tuples(), [3, 2, 0])
+
+    def test_all_keys_multiset(self):
+        assert sorted(self.rel.all_keys().tolist()) == [1, 1, 2, 2, 3]
+
+    def test_key_counts(self):
+        assert self.rel.key_counts() == {1: 2, 2: 2, 3: 1}
+
+    def test_only_keys(self):
+        sub = self.rel.only_keys(np.array([1]))
+        assert sub.total_tuples == 2
+        assert sub.shards[1].size == 0
+
+    def test_without_keys(self):
+        sub = self.rel.without_keys(np.array([1]))
+        assert sorted(sub.all_keys().tolist()) == [2, 2, 3]
+
+    def test_partition_only_without_is_everything(self):
+        keys = np.array([2])
+        a = self.rel.only_keys(keys)
+        b = self.rel.without_keys(keys)
+        assert a.total_tuples + b.total_tuples == self.rel.total_tuples
+
+
+class TestFromPlacement:
+    def test_round_trip(self):
+        keys = np.array([10, 20, 30, 40])
+        nodes = np.array([2, 0, 2, 1])
+        rel = DistributedRelation.from_placement(keys, nodes, 3)
+        assert rel.shards[0].tolist() == [20]
+        assert rel.shards[1].tolist() == [40]
+        assert sorted(rel.shards[2].tolist()) == [10, 30]
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            DistributedRelation.from_placement(
+                np.array([1, 2]), np.array([0]), 2
+            )
+
+    def test_node_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DistributedRelation.from_placement(
+                np.array([1]), np.array([5]), 2
+            )
+
+    def test_empty_relation(self):
+        rel = DistributedRelation.from_placement(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 3
+        )
+        assert rel.total_tuples == 0
+        assert rel.n_nodes == 3
+
+    def test_key_counts_preserved(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 50, 500)
+        nodes = rng.integers(0, 4, 500)
+        rel = DistributedRelation.from_placement(keys, nodes, 4)
+        uniq, cnt = np.unique(keys, return_counts=True)
+        assert rel.key_counts() == {int(k): int(c) for k, c in zip(uniq, cnt)}

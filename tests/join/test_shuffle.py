@@ -1,0 +1,105 @@
+"""Unit and integration tests for shuffle execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ShuffleModel
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+from repro.join.shuffle import execute_shuffle
+
+
+@pytest.fixture
+def relation(rng):
+    shards = [rng.integers(0, 40, size=rng.integers(5, 30)) for _ in range(4)]
+    return DistributedRelation(shards=shards, payload_bytes=8.0)
+
+
+class TestBasicShuffle:
+    def test_tuples_conserved(self, relation, rng):
+        part = HashPartitioner(p=10)
+        dest = rng.integers(0, 4, size=10)
+        out = execute_shuffle(relation, part, dest)
+        assert out.relation.total_tuples == relation.total_tuples
+        assert sorted(out.relation.all_keys().tolist()) == sorted(
+            relation.all_keys().tolist()
+        )
+
+    def test_colocation(self, relation, rng):
+        part = HashPartitioner(p=10)
+        dest = rng.integers(0, 4, size=10)
+        out = execute_shuffle(relation, part, dest)
+        for node, shard in enumerate(out.relation.shards):
+            if shard.size:
+                assert (dest[part.partition_of(shard)] == node).all()
+
+    def test_volume_matrix_matches_model_prediction(self, relation, rng):
+        part = HashPartitioner(p=10)
+        dest = rng.integers(0, 4, size=10)
+        model = ShuffleModel(h=part.chunk_matrix(relation), rate=1.0)
+        predicted = model.volume_matrix(dest)
+        out = execute_shuffle(relation, part, dest)
+        np.testing.assert_allclose(out.volume_matrix, predicted)
+
+    def test_traffic_matches_model(self, relation, rng):
+        part = HashPartitioner(p=10)
+        dest = rng.integers(0, 4, size=10)
+        model = ShuffleModel(h=part.chunk_matrix(relation), rate=1.0)
+        out = execute_shuffle(relation, part, dest)
+        assert out.traffic == pytest.approx(model.evaluate(dest).traffic)
+
+    def test_identity_shuffle_when_everything_local(self):
+        # One node: every destination is local; zero traffic.
+        rel = DistributedRelation(shards=[np.arange(10)])
+        part = HashPartitioner(p=5)
+        out = execute_shuffle(rel, part, np.zeros(5, dtype=np.int64))
+        assert out.traffic == 0.0
+
+
+class TestBroadcast:
+    def test_broadcast_key_replicated_everywhere(self):
+        rel = DistributedRelation(
+            shards=[np.array([1, 2]), np.array([3]), np.array([], dtype=np.int64)],
+            payload_bytes=1.0,
+        )
+        part = HashPartitioner(p=4)
+        dest = np.zeros(4, dtype=np.int64)
+        out = execute_shuffle(rel, part, dest, broadcast_keys=np.array([1]))
+        for shard in out.relation.shards:
+            assert 1 in shard.tolist()
+
+    def test_broadcast_volume_charged_n_minus_1(self):
+        rel = DistributedRelation(
+            shards=[np.array([1]), np.array([], dtype=np.int64),
+                    np.array([], dtype=np.int64)],
+            payload_bytes=2.0,
+        )
+        part = HashPartitioner(p=2)
+        out = execute_shuffle(
+            rel, part, np.zeros(2, dtype=np.int64), broadcast_keys=np.array([1])
+        )
+        assert out.traffic == pytest.approx(2.0 * 2)  # two remote copies
+
+    def test_non_broadcast_keys_still_routed(self):
+        rel = DistributedRelation(
+            shards=[np.array([1, 2]), np.array([], dtype=np.int64)],
+            payload_bytes=1.0,
+        )
+        part = HashPartitioner(p=2)
+        dest = np.array([1, 1], dtype=np.int64)
+        out = execute_shuffle(rel, part, dest, broadcast_keys=np.array([1]))
+        # Key 2 routed to node 1; key 1 broadcast to both.
+        assert sorted(out.relation.shards[1].tolist()) == [1, 2]
+        assert out.relation.shards[0].tolist() == [1]
+
+
+class TestValidation:
+    def test_wrong_dest_length(self, relation):
+        with pytest.raises(ValueError, match="shape"):
+            execute_shuffle(relation, HashPartitioner(p=5),
+                            np.zeros(4, dtype=np.int64))
+
+    def test_dest_out_of_range(self, relation):
+        with pytest.raises(ValueError, match="outside"):
+            execute_shuffle(relation, HashPartitioner(p=5),
+                            np.full(5, 99, dtype=np.int64))

@@ -1,0 +1,88 @@
+"""Tests for the post-simulation analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.network.analysis import analyze, jain_index
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+
+
+class TestJainIndex:
+    def test_equal_values(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([-1.0])
+
+
+class TestAnalyze:
+    def run(self, coflows, scheduler="sebf", n_ports=3, rate=1.0):
+        fab = Fabric(n_ports=n_ports, rate=rate)
+        res = CoflowSimulator(fab, make_scheduler(scheduler)).run(coflows)
+        return analyze(res, coflows, fab), res
+
+    def test_isolated_coflow_has_unit_slowdown(self):
+        cf = Coflow([Flow(0, 1, 4.0)])
+        report, _ = self.run([cf])
+        assert report.average_slowdown == pytest.approx(1.0)
+        assert report.max_slowdown == pytest.approx(1.0)
+        assert report.fairness == pytest.approx(1.0)
+
+    def test_contention_raises_slowdown(self):
+        c1 = Coflow([Flow(0, 1, 10.0)])
+        c2 = Coflow([Flow(0, 2, 10.0)])  # shares egress 0
+        report, _ = self.run([c1, c2], scheduler="fair")
+        assert report.max_slowdown > 1.0
+
+    def test_utilization_bounds(self):
+        cf = Coflow([Flow(0, 1, 4.0), Flow(2, 1, 4.0)])
+        report, _ = self.run([cf])
+        assert 0 < report.utilization <= 1.0
+
+    def test_deadline_hit_rate(self):
+        ok = Coflow([Flow(0, 1, 2.0)], deadline=10.0, coflow_id=0)
+        miss = Coflow([Flow(0, 2, 50.0)], deadline=1.0, coflow_id=1)
+        fab = Fabric(n_ports=3, rate=1.0)
+        res = CoflowSimulator(fab, make_scheduler("deadline")).run([ok, miss])
+        report = analyze(res, [ok, miss], fab)
+        assert report.deadline_hit_rate == pytest.approx(0.5)
+
+    def test_no_deadlines_is_nan(self):
+        report, _ = self.run([Coflow([Flow(0, 1, 1.0)])])
+        assert np.isnan(report.deadline_hit_rate)
+
+    def test_missing_coflow_rejected(self):
+        cf = Coflow([Flow(0, 1, 1.0)], coflow_id=0)
+        fab = Fabric(n_ports=2, rate=1.0)
+        res = CoflowSimulator(fab, make_scheduler("sebf")).run([cf])
+        other = Coflow([Flow(0, 1, 1.0)], coflow_id=7)
+        with pytest.raises(ValueError, match="missing"):
+            analyze(res, [other], fab)
+
+    def test_summary_renders(self):
+        report, _ = self.run([Coflow([Flow(0, 1, 1.0)])])
+        s = report.summary()
+        assert "avg CCT" in s and "util" in s
+
+    def test_sebf_beats_fair_on_average_slowdown(self):
+        from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+        cfg = CoflowMixConfig(n_ports=12, n_coflows=30, arrival_rate=5.0, seed=4)
+        coflows = generate_coflow_mix(cfg)
+        fab = Fabric(n_ports=12, rate=128e6)
+        rep = {}
+        for s in ("sebf", "fair"):
+            res = CoflowSimulator(fab, make_scheduler(s)).run(coflows)
+            rep[s] = analyze(res, coflows, fab)
+        assert rep["sebf"].average_cct <= rep["fair"].average_cct + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for CoflowSim trace-format interoperability."""
+
+import pytest
+
+from repro.network.coflowsim_trace import (
+    read_coflowsim_trace,
+    write_coflowsim_trace,
+)
+from repro.network.flow import Coflow, Flow
+
+TRACE = """\
+4 2
+0 0 2 0 1 2 2:10 3:20
+1 500 1 0 1 2:6
+"""
+
+
+class TestRead:
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(TRACE)
+        n_ports, coflows = read_coflowsim_trace(path)
+        assert n_ports == 4
+        assert len(coflows) == 2
+        c0, c1 = coflows
+        assert c0.coflow_id == 0 and c0.arrival_time == 0.0
+        assert c1.arrival_time == pytest.approx(0.5)
+
+    def test_equal_split_volumes(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text(TRACE)
+        _, (c0, _) = read_coflowsim_trace(path)
+        # Reducer 2 gets 10 MB from 2 mappers -> 5 MB per mapper.
+        vols = {(f.src, f.dst): f.volume for f in c0}
+        assert vols[(0, 2)] == pytest.approx(5e6)
+        assert vols[(1, 2)] == pytest.approx(5e6)
+        assert vols[(0, 3)] == pytest.approx(10e6)
+
+    def test_mapper_colocated_with_reducer_drops_local_flow(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 1\n0 0 2 0 1 1 1:8\n")
+        _, (c,) = read_coflowsim_trace(path)
+        # Mapper 1 == reducer 1: only the remote half travels.
+        assert c.width == 1
+        assert c.flows[0].src == 0
+        assert c.flows[0].volume == pytest.approx(4e6)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# a comment\n\n" + TRACE)
+        n_ports, coflows = read_coflowsim_trace(path)
+        assert n_ports == 4 and len(coflows) == 2
+
+    def test_errors(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_coflowsim_trace(path)
+        path.write_text("4\n")
+        with pytest.raises(ValueError, match="header"):
+            read_coflowsim_trace(path)
+        path.write_text("4 2\n0 0 1 0 1 1:5\n")
+        with pytest.raises(ValueError, match="promises"):
+            read_coflowsim_trace(path)
+        path.write_text("4 1\n0 0 1 0 1 15\n")
+        with pytest.raises(ValueError, match="reducer token"):
+            read_coflowsim_trace(path)
+        path.write_text("2 1\n0 0 1 0 1 7:5\n")
+        with pytest.raises(ValueError, match="port 7"):
+            read_coflowsim_trace(path)
+
+
+class TestWriteRoundTrip:
+    def test_round_trip(self, tmp_path):
+        src = tmp_path / "in.txt"
+        src.write_text(TRACE)
+        n_ports, coflows = read_coflowsim_trace(src)
+        out = tmp_path / "out.txt"
+        write_coflowsim_trace(coflows, out, n_ports=n_ports)
+        n2, back = read_coflowsim_trace(out)
+        assert n2 == n_ports
+        for a, b in zip(coflows, back):
+            assert a.arrival_time == pytest.approx(b.arrival_time)
+            va = {(f.src, f.dst): f.volume for f in a}
+            vb = {(f.src, f.dst): f.volume for f in b}
+            assert set(va) == set(vb)
+            for k in va:
+                assert va[k] == pytest.approx(vb[k])
+
+    def test_colocated_round_trip(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("3 1\n0 0 2 0 1 1 1:8\n")
+        n_ports, coflows = read_coflowsim_trace(path)
+        out = tmp_path / "o.txt"
+        write_coflowsim_trace(coflows, out, n_ports=n_ports)
+        _, back = read_coflowsim_trace(out)
+        assert back[0].flows[0].volume == pytest.approx(4e6)
+
+    def test_irregular_coflow_rejected(self, tmp_path):
+        cf = Coflow([Flow(0, 1, 5.0), Flow(0, 2, 7.0), Flow(3, 1, 1.0)])
+        with pytest.raises(ValueError, match="not representable"):
+            write_coflowsim_trace([cf], tmp_path / "x.txt", n_ports=4)
+
+    def test_port_bound_checked(self, tmp_path):
+        cf = Coflow([Flow(0, 9, 5.0)])
+        with pytest.raises(ValueError, match="exceeds"):
+            write_coflowsim_trace([cf], tmp_path / "x.txt", n_ports=4)
+
+    def test_trace_runs_through_simulator(self, tmp_path):
+        from repro.network.fabric import Fabric
+        from repro.network.schedulers import make_scheduler
+        from repro.network.simulator import CoflowSimulator
+
+        path = tmp_path / "t.txt"
+        path.write_text(TRACE)
+        n_ports, coflows = read_coflowsim_trace(path)
+        sim = CoflowSimulator(
+            Fabric(n_ports=n_ports, rate=128e6), make_scheduler("sebf")
+        )
+        res = sim.run(coflows)
+        assert len(res.ccts) == 2

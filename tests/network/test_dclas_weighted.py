@@ -1,0 +1,107 @@
+"""Tests for Aalo's weighted queue sharing (starvation freedom)."""
+
+import numpy as np
+import pytest
+
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers.dclas import DCLASScheduler
+from repro.network.simulator import CoflowSimulator
+
+
+def run(coflows, sched):
+    sim = CoflowSimulator(Fabric(n_ports=3, rate=1.0), sched)
+    return sim.run(coflows)
+
+
+class TestWeightedQueues:
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError, match="decay"):
+            DCLASScheduler(queue_weight_decay=1.0)
+        with pytest.raises(ValueError, match="decay"):
+            DCLASScheduler(queue_weight_decay=-0.1)
+
+    def test_zero_decay_is_strict_priority(self):
+        # With decay 0 the heavy (demoted) coflow starves until the light
+        # one finishes on the shared port.
+        sched = DCLASScheduler(
+            first_threshold=5.0, multiplier=2, num_queues=4
+        )
+        big = Coflow([Flow(0, 1, 50.0)], coflow_id=0)
+        small = Coflow([Flow(0, 2, 2.0)], arrival_time=6.0, coflow_id=1)
+        res = run([big, small], sched)
+        # Big already crossed the 5-byte threshold at t=5, so the small
+        # (queue 0) preempts it fully on the shared egress port.
+        assert res.ccts[1] == pytest.approx(2.0)
+
+    def test_weighted_keeps_heavy_coflow_progressing(self):
+        # At the allocation level: with decay > 0 the demoted coflow keeps
+        # a share of the contended port instead of starving.
+        from repro.network.events import CoflowProgress, SchedulingContext
+
+        ctx = SchedulingContext(
+            time=0.0,
+            fabric=Fabric(n_ports=3, rate=1.0),
+            srcs=np.array([0, 0]),
+            dsts=np.array([1, 2]),
+            remaining=np.array([40.0, 4.0]),
+            coflow_ids=np.array([0, 1]),
+            progress={
+                0: CoflowProgress(0, 0.0, 50.0, 1, sent_bytes=10.0),  # demoted
+                1: CoflowProgress(1, 1.0, 4.0, 1, sent_bytes=0.0),    # fresh
+            },
+        )
+        strict = DCLASScheduler(
+            first_threshold=5.0, multiplier=2, num_queues=4
+        ).allocate(ctx)
+        assert strict[0] == pytest.approx(0.0)  # starved
+        assert strict[1] == pytest.approx(1.0)
+
+        weighted = DCLASScheduler(
+            first_threshold=5.0, multiplier=2, num_queues=4,
+            queue_weight_decay=0.5,
+        ).allocate(ctx)
+        assert weighted[0] > 0.1  # keeps a slice
+        assert weighted[1] > weighted[0]  # higher queue still favoured
+        assert weighted[0] + weighted[1] == pytest.approx(1.0)  # conserving
+
+    def test_weighted_end_to_end_small_pays_the_slice(self):
+        weighted = DCLASScheduler(
+            first_threshold=5.0, multiplier=2, num_queues=4,
+            queue_weight_decay=0.5,
+        )
+        big = Coflow([Flow(0, 1, 50.0)], coflow_id=0)
+        small = Coflow([Flow(0, 2, 4.0)], arrival_time=6.0, coflow_id=1)
+        res = run([big, small], weighted)
+        # Small no longer gets the full port: CCT above its isolated 4s.
+        assert res.ccts[1] > 4.0
+        # The shared port never idles, so big still completes at 54s.
+        assert res.ccts[0] == pytest.approx(54.0)
+
+    def test_work_conserving_with_weights(self):
+        sched = DCLASScheduler(
+            first_threshold=5.0, multiplier=2, num_queues=4,
+            queue_weight_decay=0.3,
+        )
+        # One coflow alone must still get full line rate.
+        cf = Coflow([Flow(0, 1, 8.0)])
+        res = run([cf], sched)
+        assert res.ccts[0] == pytest.approx(8.0)
+
+    def test_all_bytes_delivered(self):
+        sched = DCLASScheduler(
+            first_threshold=3.0, multiplier=2, num_queues=3,
+            queue_weight_decay=0.4,
+        )
+        rng = np.random.default_rng(2)
+        coflows = [
+            Coflow(
+                [Flow(0, 1 + (i % 2), float(rng.integers(1, 20)))],
+                arrival_time=float(i),
+                coflow_id=i,
+            )
+            for i in range(6)
+        ]
+        res = run(coflows, sched)
+        assert len(res.ccts) == 6
+        assert res.total_bytes == sum(c.total_volume for c in coflows)

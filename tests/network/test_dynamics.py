@@ -1,0 +1,119 @@
+"""Tests for fabric dynamics (mid-simulation rate changes)."""
+
+import numpy as np
+import pytest
+
+from repro.network.dynamics import FabricDynamics, RateEvent
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+
+
+class TestRateEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateEvent(time=-1, port=0, egress=1.0)
+        with pytest.raises(ValueError):
+            RateEvent(time=0, port=-1, egress=1.0)
+        with pytest.raises(ValueError):
+            RateEvent(time=0, port=0, egress=0.0)
+        with pytest.raises(ValueError):
+            RateEvent(time=0, port=0)  # no direction changed
+
+
+class TestFabricDynamics:
+    def test_events_sorted(self):
+        dyn = FabricDynamics(
+            [RateEvent(5.0, 0, egress=1.0), RateEvent(1.0, 0, egress=2.0)]
+        )
+        assert [e.time for e in dyn.events] == [1.0, 5.0]
+
+    def test_apply_due_consumes(self):
+        fab = Fabric(n_ports=2, rate=4.0)
+        dyn = FabricDynamics([RateEvent(1.0, 0, egress=2.0)])
+        assert not dyn.apply_due(fab, 0.5)
+        assert dyn.apply_due(fab, 1.0)
+        assert fab.egress_rates[0] == 2.0
+        assert fab.ingress_rates[0] == 4.0  # unchanged direction
+        assert len(dyn) == 0
+
+    def test_next_event_time(self):
+        dyn = FabricDynamics([RateEvent(2.0, 0, egress=1.0)])
+        assert dyn.next_event_time(0.0) == 2.0
+        assert dyn.next_event_time(2.0) is None
+
+    def test_validate_against(self):
+        dyn = FabricDynamics([RateEvent(0.0, 5, egress=1.0)])
+        with pytest.raises(ValueError, match="port 5"):
+            dyn.validate_against(Fabric(n_ports=2))
+
+    def test_degrade_helper(self):
+        fab = Fabric(n_ports=3, rate=8.0)
+        dyn = FabricDynamics.degrade(
+            time=1.0, ports=[0, 2], factor=0.25, fabric=fab, recover_at=3.0
+        )
+        assert len(dyn) == 4
+        with pytest.raises(ValueError):
+            FabricDynamics.degrade(time=0, ports=[0], factor=0.0, fabric=fab)
+
+
+class TestSimulatorIntegration:
+    def run(self, coflows, dynamics, rate=1.0, n_ports=3, scheduler="sebf"):
+        fab = Fabric(n_ports=n_ports, rate=rate)
+        sim = CoflowSimulator(
+            fab, make_scheduler(scheduler), dynamics=dynamics
+        )
+        return sim.run(coflows), fab
+
+    def test_degradation_slows_completion(self):
+        # 10 bytes at rate 1; at t=5 the egress drops to 0.25:
+        # 5 bytes drained, remaining 5 take 20s -> finishes at 25.
+        cf = Coflow([Flow(0, 1, 10.0)])
+        dyn = FabricDynamics([RateEvent(5.0, 0, egress=0.25)])
+        res, fab = self.run([cf], dyn)
+        assert res.ccts[0] == pytest.approx(25.0)
+        # The caller's fabric is untouched.
+        assert fab.egress_rates[0] == 1.0
+
+    def test_recovery_speeds_back_up(self):
+        cf = Coflow([Flow(0, 1, 10.0)])
+        dyn = FabricDynamics(
+            [
+                RateEvent(2.0, 0, egress=0.5),
+                RateEvent(4.0, 0, egress=1.0),
+            ]
+        )
+        res, _ = self.run([cf], dyn)
+        # 2s @1 + 2s @0.5 + 7s @1 = 10 bytes -> done at t=11.
+        assert res.ccts[0] == pytest.approx(11.0)
+
+    def test_ingress_event(self):
+        cf = Coflow([Flow(0, 1, 4.0)])
+        dyn = FabricDynamics([RateEvent(0.0, 1, ingress=0.5)])
+        res, _ = self.run([cf], dyn)
+        assert res.ccts[0] == pytest.approx(8.0)
+
+    def test_unaffected_flows_unchanged(self):
+        a = Coflow([Flow(0, 1, 4.0)], coflow_id=0)
+        b = Coflow([Flow(2, 1, 4.0)], coflow_id=1)
+        dyn = FabricDynamics([RateEvent(1.0, 2, egress=0.5)])
+        res, _ = self.run([a, b], dyn)
+        # Port 1 ingress is shared; both still finish (b slower).
+        assert res.ccts[0] <= res.ccts[1]
+
+    def test_repeatable_runs(self):
+        cf = Coflow([Flow(0, 1, 10.0)])
+        dyn = FabricDynamics([RateEvent(5.0, 0, egress=0.25)])
+        fab = Fabric(n_ports=2, rate=1.0)
+        sim = CoflowSimulator(fab, make_scheduler("sebf"), dynamics=dyn)
+        r1 = sim.run([cf])
+        r2 = sim.run([cf])
+        assert r1.ccts[0] == pytest.approx(r2.ccts[0])
+
+    def test_invalid_port_rejected_at_construction(self):
+        dyn = FabricDynamics([RateEvent(0.0, 9, egress=1.0)])
+        with pytest.raises(ValueError, match="port 9"):
+            CoflowSimulator(
+                Fabric(n_ports=2), make_scheduler("sebf"), dynamics=dyn
+            )

@@ -1,0 +1,68 @@
+"""Unit tests for the scheduling context (events module)."""
+
+import numpy as np
+import pytest
+
+from repro.network.events import CoflowProgress, SchedulingContext
+from repro.network.fabric import Fabric
+
+
+@pytest.fixture
+def ctx():
+    return SchedulingContext(
+        time=2.0,
+        fabric=Fabric(n_ports=4, rate=2.0),
+        srcs=np.array([0, 1, 0]),
+        dsts=np.array([1, 2, 3]),
+        remaining=np.array([6.0, 4.0, 2.0]),
+        coflow_ids=np.array([0, 0, 1]),
+        progress={
+            0: CoflowProgress(0, 0.0, 10.0, 2),
+            1: CoflowProgress(1, 1.0, 2.0, 1, deadline=5.0),
+        },
+    )
+
+
+class TestSchedulingContext:
+    def test_n_flows(self, ctx):
+        assert ctx.n_flows == 3
+
+    def test_active_coflow_ids(self, ctx):
+        assert ctx.active_coflow_ids() == [0, 1]
+
+    def test_flows_of(self, ctx):
+        np.testing.assert_array_equal(ctx.flows_of(0), [0, 1])
+        np.testing.assert_array_equal(ctx.flows_of(1), [2])
+        assert ctx.flows_of(9).size == 0
+
+    def test_remaining_volume(self, ctx):
+        assert ctx.remaining_volume(0) == 10.0
+        assert ctx.remaining_volume(1) == 2.0
+
+    def test_remaining_bottleneck_accounts_rates(self, ctx):
+        # Coflow 0: egress port 0 sends 6, port 1 sends 4; ingress 1 gets
+        # 6, ingress 2 gets 4.  At rate 2 the bottleneck is 6/2 = 3.
+        assert ctx.remaining_bottleneck(0) == pytest.approx(3.0)
+
+    def test_remaining_bottleneck_empty(self, ctx):
+        assert ctx.remaining_bottleneck(42) == 0.0
+
+
+class TestCoflowProgress:
+    def test_absolute_deadline(self):
+        p = CoflowProgress(0, arrival_time=3.0, total_volume=1.0, width=1,
+                           deadline=4.0)
+        assert p.absolute_deadline == 7.0
+
+    def test_no_deadline(self):
+        p = CoflowProgress(0, 0.0, 1.0, 1)
+        assert p.absolute_deadline is None
+
+    def test_finished_flag(self):
+        p = CoflowProgress(0, 0.0, 1.0, 1)
+        assert not p.finished
+        p.completion_time = 5.0
+        assert p.finished
+
+    def test_default_weight(self):
+        assert CoflowProgress(0, 0.0, 1.0, 1).weight == 1.0

@@ -1,0 +1,94 @@
+"""Tests for coflow JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network.flow import Coflow, Flow
+from repro.network.io import (
+    coflow_from_dict,
+    coflow_to_dict,
+    load_coflows,
+    save_coflows,
+)
+
+
+@pytest.fixture
+def coflows():
+    return [
+        Coflow([Flow(0, 1, 3.0), Flow(2, 1, 1.5)], name="a", coflow_id=0),
+        Coflow([Flow(1, 0, 2.0)], arrival_time=5.0, name="b", coflow_id=1),
+    ]
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, coflows):
+        for cf in coflows:
+            back = coflow_from_dict(coflow_to_dict(cf))
+            assert back.name == cf.name
+            assert back.arrival_time == cf.arrival_time
+            assert back.coflow_id == cf.coflow_id
+            assert [(f.src, f.dst, f.volume) for f in back] == [
+                (f.src, f.dst, f.volume) for f in cf
+            ]
+
+    def test_file_round_trip(self, coflows, tmp_path):
+        path = tmp_path / "coflows.json"
+        save_coflows(coflows, path)
+        back = load_coflows(path)
+        assert len(back) == 2
+        assert back[1].arrival_time == 5.0
+        assert back[0].total_volume == pytest.approx(4.5)
+
+    def test_file_is_valid_json(self, coflows, tmp_path):
+        path = tmp_path / "coflows.json"
+        save_coflows(coflows, path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+
+
+class TestValidation:
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            coflow_from_dict({"version": 99, "flows": []})
+
+    def test_malformed_flow_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            coflow_from_dict({"flows": [{"src": 0}]})
+
+    def test_non_coflow_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a coflow file"):
+            load_coflows(path)
+
+    def test_defaults_filled(self):
+        cf = coflow_from_dict(
+            {"flows": [{"src": 0, "dst": 1, "volume": 2.0}]}
+        )
+        assert cf.arrival_time == 0.0
+        assert cf.coflow_id == -1
+
+
+class TestCLIIntegration:
+    def test_plan_and_simulate_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "plan.json"
+        assert main(
+            ["plan", "--nodes", "8", "--scale-factor", "0.05",
+             "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert main(["simulate", str(out), "--scheduler", "sebf"]) == 0
+        text = capsys.readouterr().out
+        assert "average CCT" in text
+
+    def test_simulate_empty_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.network.io import save_coflows
+
+        out = tmp_path / "empty.json"
+        save_coflows([], out)
+        assert main(["simulate", str(out)]) == 1

@@ -1,0 +1,65 @@
+"""Invariants of the recorded simulation timeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+
+def run_recorded(coflows, n_ports, scheduler="sebf", rate=1.0):
+    sim = CoflowSimulator(
+        Fabric(n_ports=n_ports, rate=rate),
+        make_scheduler(scheduler),
+        record_timeline=True,
+    )
+    return sim.run(coflows)
+
+
+class TestTimelineInvariants:
+    @given(st.integers(0, 10_000), st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_epochs_tile_the_busy_interval(self, seed, n_coflows):
+        cfg = CoflowMixConfig(
+            n_ports=8, n_coflows=n_coflows, arrival_rate=3.0, seed=seed
+        )
+        coflows = generate_coflow_mix(cfg)
+        res = run_recorded(coflows, 8, rate=128e6)
+        if not res.epochs:
+            return
+        # Epochs are ordered and never overlap (idle gaps are allowed:
+        # the fabric can drain completely before the next arrival).
+        for a, b in zip(res.epochs, res.epochs[1:]):
+            assert b.start >= a.start + a.duration - 1e-9
+        end = res.epochs[-1].start + res.epochs[-1].duration
+        assert end == pytest.approx(res.makespan, rel=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregate_rate_within_capacity(self, seed):
+        cfg = CoflowMixConfig(n_ports=6, n_coflows=6, seed=seed)
+        coflows = generate_coflow_mix(cfg)
+        res = run_recorded(coflows, 6, rate=128e6)
+        cap = 6 * 128e6
+        for e in res.epochs:
+            assert e.aggregate_rate <= cap * (1 + 1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_delivered_bytes_match_total(self, seed):
+        cfg = CoflowMixConfig(n_ports=6, n_coflows=8, seed=seed)
+        coflows = generate_coflow_mix(cfg)
+        res = run_recorded(coflows, 6, rate=128e6)
+        delivered = sum(e.duration * e.aggregate_rate for e in res.epochs)
+        assert delivered == pytest.approx(res.total_bytes, rel=1e-6)
+
+    def test_active_flow_counts_positive(self):
+        cf = Coflow([Flow(0, 1, 3.0), Flow(1, 2, 2.0)])
+        res = run_recorded([cf], 3)
+        for e in res.epochs:
+            assert e.active_flows >= 1

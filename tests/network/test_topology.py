@@ -1,0 +1,76 @@
+"""Unit tests for the two-level (oversubscribed) topology extension."""
+
+import pytest
+
+from repro.network.flow import Coflow, Flow
+from repro.network.topology import TwoLevelTopology
+
+
+class TestGeometry:
+    def test_rack_partitioning(self):
+        topo = TwoLevelTopology(n_hosts=10, hosts_per_rack=4, host_rate=1.0)
+        assert topo.n_racks == 3
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(7) == 1
+        assert topo.rack_of(9) == 2
+        assert topo.rack_size(2) == 2  # partial last rack
+
+    def test_rack_of_range_check(self):
+        topo = TwoLevelTopology(n_hosts=4, hosts_per_rack=2, host_rate=1.0)
+        with pytest.raises(ValueError):
+            topo.rack_of(4)
+
+    def test_uplink_rate(self):
+        topo = TwoLevelTopology(
+            n_hosts=8, hosts_per_rack=4, host_rate=2.0, oversubscription=4.0
+        )
+        assert topo.uplink_rate(0) == pytest.approx(2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TwoLevelTopology(n_hosts=0, hosts_per_rack=2)
+        with pytest.raises(ValueError):
+            TwoLevelTopology(n_hosts=4, hosts_per_rack=2, oversubscription=0.5)
+
+
+class TestOptimalCCT:
+    def test_full_bisection_matches_nonblocking(self):
+        # Cross-rack single flow at oversubscription 1: NIC bound dominates
+        # (uplink carries rack_size * host_rate >= one NIC).
+        topo = TwoLevelTopology(n_hosts=4, hosts_per_rack=2, host_rate=1.0)
+        cf = Coflow([Flow(0, 2, 6.0)])
+        assert topo.optimal_cct(cf) == pytest.approx(cf.bottleneck(4, 1.0))
+        assert topo.cct_inflation(cf) == pytest.approx(1.0)
+
+    def test_intra_rack_traffic_skips_uplink(self):
+        topo = TwoLevelTopology(
+            n_hosts=4, hosts_per_rack=2, host_rate=1.0, oversubscription=100.0
+        )
+        cf = Coflow([Flow(0, 1, 5.0)])  # same rack
+        assert topo.optimal_cct(cf) == pytest.approx(5.0)
+
+    def test_oversubscription_inflates_cross_rack(self):
+        topo = TwoLevelTopology(
+            n_hosts=4, hosts_per_rack=2, host_rate=1.0, oversubscription=4.0
+        )
+        # Both hosts of rack 0 send cross-rack: uplink carries 2 units at
+        # rate 0.5 -> bound 4x the NIC bound.
+        cf = Coflow([Flow(0, 2, 1.0), Flow(1, 3, 1.0)])
+        assert topo.optimal_cct(cf) == pytest.approx(4.0)
+        assert topo.cct_inflation(cf) == pytest.approx(4.0)
+
+    def test_downlink_bound(self):
+        topo = TwoLevelTopology(
+            n_hosts=4, hosts_per_rack=2, host_rate=1.0, oversubscription=4.0
+        )
+        cf = Coflow([Flow(0, 2, 1.0), Flow(1, 3, 1.0)])  # both into rack 1
+        assert topo.optimal_cct(cf) >= 4.0 - 1e-9
+
+    def test_out_of_range_host_rejected(self):
+        topo = TwoLevelTopology(n_hosts=2, hosts_per_rack=2, host_rate=1.0)
+        with pytest.raises(ValueError, match="beyond topology"):
+            topo.optimal_cct(Coflow([Flow(0, 5, 1.0)]))
+
+    def test_empty_coflow_inflation(self):
+        topo = TwoLevelTopology(n_hosts=2, hosts_per_rack=2, host_rate=1.0)
+        assert topo.cct_inflation(Coflow([])) == 1.0

@@ -1,0 +1,72 @@
+"""Tests for the text-mode timeline visualizations."""
+
+import pytest
+
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.network.visualize import gantt, throughput_sparkline
+
+
+@pytest.fixture
+def result():
+    coflows = [
+        Coflow([Flow(0, 1, 4.0)], coflow_id=0, name="alpha"),
+        Coflow([Flow(2, 1, 2.0)], arrival_time=1.0, coflow_id=1, name="beta"),
+    ]
+    sim = CoflowSimulator(
+        Fabric(n_ports=3, rate=1.0), make_scheduler("sebf"),
+        record_timeline=True,
+    )
+    return sim.run(coflows)
+
+
+class TestGantt:
+    def test_one_line_per_coflow(self, result):
+        chart = gantt(result)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # two coflows + axis
+        assert "cf0" in lines[0] and "cf1" in lines[1]
+        assert "makespan" in lines[-1]
+
+    def test_custom_names(self, result):
+        chart = gantt(result, names={0: "alpha", 1: "beta"})
+        assert "alpha" in chart and "beta" in chart
+
+    def test_bars_reflect_durations(self, result):
+        chart = gantt(result, width=40)
+        bar0 = chart.splitlines()[0].split("|")[1]
+        bar1 = chart.splitlines()[1].split("|")[1]
+        assert bar0.count("█") > bar1.count("█")
+
+    def test_empty_run(self):
+        from repro.network.simulator import SimulationResult
+
+        assert "no coflows" in gantt(SimulationResult({}, {}, 0.0, 0.0))
+
+    def test_width_validation(self, result):
+        with pytest.raises(ValueError, match="width"):
+            gantt(result, width=5)
+
+
+class TestSparkline:
+    def test_length_matches_width(self, result):
+        line = throughput_sparkline(result, width=30)
+        assert len(line) == 30
+
+    def test_busy_periods_nonblank(self, result):
+        line = throughput_sparkline(result, width=20)
+        assert any(c != " " for c in line)
+
+    def test_requires_timeline(self):
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), make_scheduler("sebf")
+        )
+        res = sim.run([Coflow([Flow(0, 1, 1.0)])])
+        with pytest.raises(ValueError, match="record_timeline"):
+            throughput_sparkline(res)
+
+    def test_width_validation(self, result):
+        with pytest.raises(ValueError, match="width"):
+            throughput_sparkline(result, width=0)

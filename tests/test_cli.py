@@ -1,0 +1,45 @@
+"""Tests for the ``ccf`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig5", "--quick", "--scale-factor", "2.5", "--markdown"]
+        )
+        assert args.quick and args.scale_factor == 2.5 and args.markdown
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(out) == sorted(EXPERIMENTS)
+
+    def test_run_motivating(self, capsys):
+        assert main(["run", "motivating"]) == 0
+        out = capsys.readouterr().out
+        assert "SP2" in out and "CCF" in out
+
+    def test_run_quick_sweep(self, capsys):
+        assert main(["run", "fig7", "--quick", "--nodes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "ccf_cct_s" in out
+
+    def test_markdown_output(self, capsys):
+        assert main(["run", "motivating", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("**")

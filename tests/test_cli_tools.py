@@ -1,0 +1,77 @@
+"""Tests for the CLI tooling subcommands (trace-gen, gantt, report, verify)."""
+
+import pytest
+
+from repro.cli import main
+from repro.network.io import load_coflows
+
+
+class TestTraceGen:
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "mix.json"
+        assert main(
+            ["trace-gen", str(out), "--ports", "8", "--coflows", "5"]
+        ) == 0
+        coflows = load_coflows(out)
+        assert len(coflows) == 5
+        assert "wrote 5 coflows" in capsys.readouterr().out
+
+    def test_coflowsim_format_rejected_for_irregular_mix(self, tmp_path, capsys):
+        # The synthetic mix has random (src, dst) pairs, not equal-split
+        # mapper/reducer structure, so CoflowSim export must refuse
+        # loudly rather than distort.
+        out = tmp_path / "mix.txt"
+        rc = main(
+            ["trace-gen", str(out), "--format", "coflowsim",
+             "--ports", "8", "--coflows", "10", "--seed", "1"]
+        )
+        assert rc == 1
+        assert "cannot express" in capsys.readouterr().err
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["trace-gen", str(a), "--coflows", "6", "--seed", "9"])
+        main(["trace-gen", str(b), "--coflows", "6", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestGantt:
+    def test_renders_chart(self, tmp_path, capsys):
+        out = tmp_path / "mix.json"
+        main(["trace-gen", str(out), "--ports", "6", "--coflows", "4"])
+        assert main(["gantt", str(out), "--width", "30"]) == 0
+        text = capsys.readouterr().out
+        assert "makespan" in text
+        assert "█" in text
+
+    def test_scheduler_choice(self, tmp_path, capsys):
+        out = tmp_path / "mix.json"
+        main(["trace-gen", str(out), "--ports", "6", "--coflows", "3"])
+        assert main(["gantt", str(out), "--scheduler", "fair"]) == 0
+        assert "scheduler=fair" in capsys.readouterr().out
+
+    def test_empty_file_fails(self, tmp_path, capsys):
+        from repro.network.io import save_coflows
+
+        out = tmp_path / "empty.json"
+        save_coflows([], out)
+        assert main(["gantt", str(out)]) == 1
+
+
+class TestReport:
+    def test_report_subset(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(
+            ["report", "--out", str(out), "--experiments", "motivating"]
+        ) == 0
+        text = out.read_text()
+        assert "# CCF experiment report" in text
+        assert "motivating" in text
+
+    def test_report_unknown_experiment(self, tmp_path, capsys):
+        rc = main(
+            ["report", "--out", str(tmp_path / "r.md"),
+             "--experiments", "nope"]
+        )
+        assert rc == 2
+        assert "unknown experiments" in capsys.readouterr().err

@@ -1,0 +1,178 @@
+"""Property-based tests for the extension modules.
+
+Covers the invariants introduced after the headline reproduction:
+LP-vs-exact sandwiching, merged-model equivalence, deadline admission
+soundness, topology bounds, key-level conservation, and I/O round trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.heuristic import ccf_heuristic
+from repro.core.model import ShuffleModel
+from repro.core.multi import joint_makespan, merge_models, plan_concurrent
+from repro.core.relax import ccf_lp_rounding
+from repro.core.topology_aware import evaluate_on_topology
+from repro.join.keylevel import refine_model
+from repro.join.partitioner import HashPartitioner
+from repro.join.relation import DistributedRelation
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.io import coflow_from_dict, coflow_to_dict
+from repro.network.schedulers.deadline import DeadlineScheduler
+from repro.network.simulator import CoflowSimulator
+from repro.network.topology import TwoLevelTopology
+
+
+@st.composite
+def chunk_matrices(draw, max_n=5, max_p=6):
+    n = draw(st.integers(2, max_n))
+    p = draw(st.integers(1, max_p))
+    h = draw(
+        arrays(dtype=np.int64, shape=(n, p), elements=st.integers(0, 30))
+    )
+    return h.astype(float)
+
+
+class TestRelaxProperties:
+    @given(chunk_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_lp_bound_sandwiches_heuristic(self, h):
+        model = ShuffleModel(h=h, rate=1.0)
+        lp = ccf_lp_rounding(model, trials=4)
+        t_heur = model.evaluate(ccf_heuristic(model)).bottleneck_bytes
+        assert lp.lp_lower_bound <= t_heur + 1e-6
+        assert lp.bottleneck_bytes + 1e-9 >= lp.lp_lower_bound
+
+
+class TestMergeProperties:
+    @given(chunk_matrices(max_p=4), chunk_matrices(max_p=4))
+    @settings(max_examples=25, deadline=None)
+    def test_merged_evaluation_equals_summed_loads(self, h1, h2):
+        n = min(h1.shape[0], h2.shape[0])
+        m1 = ShuffleModel(h=h1[:n], rate=1.0)
+        m2 = ShuffleModel(h=h2[:n], rate=1.0)
+        merged = merge_models([m1, m2])
+        rng = np.random.default_rng(0)
+        d1 = rng.integers(0, n, m1.p)
+        d2 = rng.integers(0, n, m2.p)
+        joint = merged.evaluate(np.concatenate([d1, d2]))
+        e1, e2 = m1.evaluate(d1), m2.evaluate(d2)
+        np.testing.assert_allclose(
+            joint.send_loads, e1.send_loads + e2.send_loads
+        )
+        np.testing.assert_allclose(
+            joint.recv_loads, e1.recv_loads + e2.recv_loads
+        )
+        assert joint.traffic == pytest.approx(e1.traffic + e2.traffic)
+
+    @given(chunk_matrices(max_n=4, max_p=3))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_concurrent_makespan_at_most_sequential_sum(self, h):
+        # A theorem for the *exact* solver (concatenating the two
+        # sequential optima is feasible for the merged instance); the
+        # greedy can violate it, which is why the exact strategy is used.
+        m1 = ShuffleModel(h=h, rate=1.0)
+        m2 = ShuffleModel(h=h.copy(), rate=1.0)
+        cp = plan_concurrent([m1, m2], strategy="ccf-exact")
+        seq = 2 * m1.evaluate(
+            plan_concurrent([m1], strategy="ccf-exact")[0].dest
+        ).cct
+        assert cp.makespan_seconds <= seq + 1e-6
+
+
+class TestDeadlineProperties:
+    @given(
+        st.integers(2, 5),
+        st.lists(
+            st.tuples(
+                st.integers(1, 50),   # volume
+                st.floats(0.5, 20.0),  # deadline slack base
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_admitted_coflows_always_meet_deadlines(self, n, specs, seed):
+        rng = np.random.default_rng(seed)
+        coflows = []
+        for i, (vol, dl) in enumerate(specs):
+            src = int(rng.integers(0, n))
+            dst = int(rng.integers(0, n - 1))
+            if dst >= src:
+                dst += 1
+            coflows.append(
+                Coflow(
+                    [Flow(src, dst, float(vol))],
+                    arrival_time=float(i) * 0.5,
+                    deadline=float(dl),
+                    coflow_id=i,
+                )
+            )
+        sched = DeadlineScheduler(backfill=False)
+        sim = CoflowSimulator(Fabric(n_ports=n, rate=1.0), sched)
+        res = sim.run(coflows)
+        for c in coflows:
+            if sched.admitted(c.coflow_id):
+                assert res.ccts[c.coflow_id] <= c.deadline * (1 + 1e-6)
+
+
+class TestTopologyProperties:
+    @given(chunk_matrices(max_n=4, max_p=5), st.floats(1.0, 16.0))
+    @settings(max_examples=25, deadline=None)
+    def test_topology_cct_at_least_nic_bound(self, h, over):
+        n = h.shape[0]
+        model = ShuffleModel(h=h, rate=1.0)
+        topo = TwoLevelTopology(
+            n_hosts=n, hosts_per_rack=2, host_rate=1.0, oversubscription=over
+        )
+        rng = np.random.default_rng(1)
+        dest = rng.integers(0, n, h.shape[1])
+        tm = evaluate_on_topology(model, topo, dest)
+        assert tm.cct >= model.evaluate(dest).cct - 1e-9
+        assert tm.cct >= tm.uplink_seconds - 1e-12
+        assert tm.cct >= tm.nic_seconds - 1e-12
+
+
+class TestKeyLevelProperties:
+    @given(st.integers(2, 4), st.integers(2, 8), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_refinement_conserves_bytes(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        shards = [rng.integers(0, 20, size=rng.integers(1, 25)) for _ in range(n)]
+        rel = DistributedRelation(shards=shards, payload_bytes=3.0)
+        part = HashPartitioner(p=p)
+        ref = refine_model([rel], part, split_fraction=0.5, rate=1.0)
+        assert ref.model.h.sum() == pytest.approx(rel.total_bytes)
+        # Every refined column belongs to a declared partition.
+        assert (ref.column_partition >= 0).all()
+        assert (ref.column_partition < p).all()
+
+
+class TestIOProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5), st.integers(0, 5), st.integers(1, 100)
+            ).filter(lambda t: t[0] != t[1]),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coflow_dict_round_trip(self, flow_specs, arrival):
+        cf = Coflow(
+            [Flow(s, d, float(v)) for s, d, v in flow_specs],
+            arrival_time=arrival,
+            coflow_id=3,
+        )
+        back = coflow_from_dict(coflow_to_dict(cf))
+        assert back.total_volume == pytest.approx(cf.total_volume)
+        assert back.width == cf.width
+        assert back.arrival_time == pytest.approx(cf.arrival_time)

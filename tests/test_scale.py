@@ -1,0 +1,72 @@
+"""Scale stress tests: the simulator and planner at realistic sizes.
+
+These are deliberately generous but bounded: they catch accidental
+quadratic blowups (epoch explosions, per-epoch Python loops over flows)
+that unit-sized tests never see.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.network.fabric import Fabric
+from repro.network.io import load_coflows, save_coflows
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.workloads.analytic import AnalyticJoinWorkload
+from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+
+class TestSimulatorScale:
+    @pytest.mark.parametrize("scheduler", ["fair", "sebf", "dclas"])
+    def test_five_hundred_coflows(self, scheduler):
+        cfg = CoflowMixConfig(
+            n_ports=50, n_coflows=500, arrival_rate=5.0, seed=0
+        )
+        coflows = generate_coflow_mix(cfg)
+        sim = CoflowSimulator(Fabric(n_ports=50), make_scheduler(scheduler))
+        start = time.perf_counter()
+        res = sim.run(coflows)
+        elapsed = time.perf_counter() - start
+        assert len(res.ccts) == 500
+        assert elapsed < 120, f"{scheduler} took {elapsed:.1f}s for 500 coflows"
+
+    def test_bytes_conserved_at_scale(self):
+        cfg = CoflowMixConfig(n_ports=30, n_coflows=200, seed=1)
+        coflows = generate_coflow_mix(cfg)
+        sim = CoflowSimulator(Fabric(n_ports=30), make_scheduler("sebf"))
+        res = sim.run(coflows)
+        assert res.total_bytes == pytest.approx(
+            sum(c.total_volume for c in coflows)
+        )
+
+
+class TestPlannerScale:
+    def test_paper_largest_configuration_under_budget(self):
+        # n=1000, p=15000 (Fig. 5's right edge) must plan in seconds.
+        wl = AnalyticJoinWorkload(n_nodes=1000, scale_factor=6.0)
+        start = time.perf_counter()
+        plan = CCF().plan(wl, "ccf")
+        elapsed = time.perf_counter() - start
+        assert plan.dest.shape == (15000,)
+        assert elapsed < 60
+
+    def test_large_coflow_roundtrip_io(self, tmp_path):
+        rng = np.random.default_rng(3)
+        from repro.network.flow import Flow, Coflow
+
+        flows = [
+            Flow(int(s), int((s + 1 + d) % 200), float(v))
+            for s, d, v in zip(
+                rng.integers(0, 200, 5000),
+                rng.integers(0, 199, 5000),
+                rng.integers(1, 100, 5000),
+            )
+        ]
+        cf = Coflow(flows, coflow_id=0)
+        path = tmp_path / "big.json"
+        save_coflows([cf], path)
+        back = load_coflows(path)[0]
+        assert back.total_volume == pytest.approx(cf.total_volume)

@@ -1,0 +1,87 @@
+"""Cross-validation: the analytic generator matches the tuple-level one.
+
+The paper-scale experiments rely on the closed-form chunk matrices; this
+module proves they are the expectation of what the tuple-level generator
+actually produces, for matched parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CCF
+from repro.join.operators import DistributedJoin
+from repro.join.partitioner import HashPartitioner
+from repro.workloads.analytic import AnalyticJoinWorkload
+from repro.workloads.tpch import TPCHConfig, generate_tpch_relations
+
+N_NODES = 6
+SF = 0.05  # 7.5k customers, 75k orders: enough statistics, fast enough
+ZIPF = 0.8
+SKEW = 0.2
+PARTITIONS = 30  # few partitions -> many tuples per chunk -> tight stats
+
+
+@pytest.fixture(scope="module")
+def pair():
+    cfg = TPCHConfig(
+        n_nodes=N_NODES, scale_factor=SF, zipf_s=ZIPF, skew=SKEW, seed=11
+    )
+    customer, orders = generate_tpch_relations(cfg)
+    join = DistributedJoin(
+        customer, orders, partitioner=HashPartitioner(PARTITIONS), skew_factor=50.0
+    )
+    analytic = AnalyticJoinWorkload(
+        n_nodes=N_NODES,
+        partitions=PARTITIONS,
+        scale_factor=SF,
+        zipf_s=ZIPF,
+        skew=SKEW,
+    )
+    return join, analytic
+
+
+class TestChunkMatrixAgreement:
+    def test_full_matrix_within_5_percent(self, pair):
+        join, analytic = pair
+        h_tuple = join.chunk_matrix()
+        h_model = analytic.chunk_matrix()
+        assert h_tuple.sum() == pytest.approx(h_model.sum())
+        # Per-chunk tuple counts are ~Binomial; allow 8% relative error
+        # plus an absolute floor of ~4 standard deviations of the
+        # smallest chunks (60 tuples worth of bytes).
+        err = np.abs(h_tuple - h_model)
+        tol = 0.08 * h_model + 60 * 1000.0
+        assert (err <= tol).all()
+
+    def test_node_shares_agree(self, pair):
+        join, analytic = pair
+        shares_tuple = join.chunk_matrix().sum(axis=1)
+        shares_model = analytic.chunk_matrix().sum(axis=1)
+        np.testing.assert_allclose(shares_tuple, shares_model, rtol=0.03)
+
+    def test_skewed_partition_agrees(self, pair):
+        join, analytic = pair
+        k = analytic.skewed_partition
+        tuple_sizes = join.chunk_matrix().sum(axis=0)
+        model_sizes = analytic.chunk_matrix().sum(axis=0)
+        assert tuple_sizes.argmax() == k
+        assert tuple_sizes[k] == pytest.approx(model_sizes[k], rel=0.02)
+
+
+class TestMetricAgreement:
+    @pytest.mark.parametrize("strategy", ["hash", "mini", "ccf"])
+    def test_traffic_and_cct_within_5_percent(self, pair, strategy):
+        join, analytic = pair
+        ccf = CCF()
+        p_tuple = ccf.plan(join, strategy)
+        p_model = ccf.plan(analytic, strategy)
+        assert p_tuple.traffic == pytest.approx(p_model.traffic, rel=0.05)
+        assert p_tuple.cct == pytest.approx(p_model.cct, rel=0.08)
+
+    def test_speedup_ordering_agrees(self, pair):
+        join, analytic = pair
+        ccf = CCF()
+        cmp_t = ccf.compare(join)
+        cmp_m = ccf.compare(analytic)
+        for cmp in (cmp_t, cmp_m):
+            assert cmp.cct("ccf") <= cmp.cct("hash") <= cmp.cct("mini")

@@ -1,0 +1,98 @@
+"""Unit tests for the closed-form analytic workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.analytic import AnalyticJoinWorkload
+
+
+class TestSizes:
+    def test_paper_totals(self):
+        wl = AnalyticJoinWorkload(n_nodes=500)
+        assert wl.n_customer_tuples == 90e6
+        assert wl.n_order_tuples == 900e6
+        assert wl.total_bytes == pytest.approx(990e9)
+        assert wl.partitions == 7500
+
+    def test_chunk_matrix_conserves_bytes(self):
+        wl = AnalyticJoinWorkload(n_nodes=20, scale_factor=1.0)
+        assert wl.chunk_matrix().sum() == pytest.approx(wl.total_bytes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticJoinWorkload(n_nodes=0)
+        with pytest.raises(ValueError):
+            AnalyticJoinWorkload(n_nodes=2, skew=1.0)
+        with pytest.raises(ValueError):
+            AnalyticJoinWorkload(n_nodes=2, scale_factor=0)
+        with pytest.raises(ValueError):
+            AnalyticJoinWorkload(n_nodes=2, partitions=0)
+
+
+class TestStructure:
+    def test_node_shares_follow_zipf_ranking(self):
+        wl = AnalyticJoinWorkload(n_nodes=10, scale_factor=1.0, zipf_s=0.8)
+        h = wl.chunk_matrix()
+        rows = h.sum(axis=1)
+        assert (np.diff(rows) < 0).all()
+
+    def test_uniform_at_zipf_zero(self):
+        wl = AnalyticJoinWorkload(n_nodes=4, scale_factor=1.0, zipf_s=0.0)
+        h = wl.chunk_matrix()
+        np.testing.assert_allclose(h.sum(axis=1), wl.total_bytes / 4)
+
+    def test_skewed_partition_is_heaviest(self):
+        wl = AnalyticJoinWorkload(n_nodes=8, scale_factor=1.0, skew=0.3)
+        h = wl.chunk_matrix()
+        sizes = h.sum(axis=0)
+        assert sizes.argmax() == wl.skewed_partition
+        extra = sizes[wl.skewed_partition] - np.median(sizes)
+        assert extra == pytest.approx(0.3 * wl.order_bytes, rel=1e-6)
+
+    def test_no_skew_means_uniform_partitions(self):
+        wl = AnalyticJoinWorkload(n_nodes=8, scale_factor=1.0, skew=0.0)
+        sizes = wl.chunk_matrix().sum(axis=0)
+        np.testing.assert_allclose(sizes, sizes[0])
+
+
+class TestSkewSplit:
+    def test_split_is_consistent(self):
+        wl = AnalyticJoinWorkload(n_nodes=6, scale_factor=1.0, skew=0.25)
+        full = wl.chunk_matrix()
+        local = wl.skew_local_matrix()
+        bcast = wl.broadcast_matrix()
+        assert (local + bcast <= full + 1e-6).all()
+        assert local.sum() == pytest.approx(0.25 * wl.order_bytes)
+        assert bcast.sum() == pytest.approx(
+            wl.customer_bytes / wl.n_customer_tuples
+        )
+
+    def test_zero_skew_has_empty_split(self):
+        wl = AnalyticJoinWorkload(n_nodes=6, scale_factor=1.0, skew=0.0)
+        assert wl.skew_local_matrix().sum() == 0.0
+        assert wl.broadcast_matrix().sum() == 0.0
+
+
+class TestShuffleModel:
+    def test_raw_model_keeps_everything(self):
+        wl = AnalyticJoinWorkload(n_nodes=6, scale_factor=1.0, skew=0.2)
+        m = wl.shuffle_model(skew_handling=False)
+        assert m.h.sum() == pytest.approx(wl.total_bytes)
+        assert m.v0.sum() == 0.0
+
+    def test_skew_handled_model_reduces_shuffle_mass(self):
+        wl = AnalyticJoinWorkload(n_nodes=6, scale_factor=1.0, skew=0.2)
+        m = wl.shuffle_model(skew_handling=True)
+        assert m.h.sum() < wl.total_bytes
+        assert m.local_bytes_pre == pytest.approx(0.2 * wl.order_bytes)
+        assert m.v0.sum() > 0.0
+
+    def test_skew_handling_noop_without_skew(self):
+        wl = AnalyticJoinWorkload(n_nodes=6, scale_factor=1.0, skew=0.0)
+        m = wl.shuffle_model(skew_handling=True)
+        assert m.h.sum() == pytest.approx(wl.total_bytes)
+
+    def test_rate_propagates(self):
+        wl = AnalyticJoinWorkload(n_nodes=4, scale_factor=0.1, rate=1e9)
+        assert wl.shuffle_model(skew_handling=True).rate == 1e9
+        assert wl.shuffle_model(skew_handling=False).rate == 1e9

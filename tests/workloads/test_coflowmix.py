@@ -1,0 +1,102 @@
+"""Tests for the Facebook-style synthetic coflow trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.coflowmix import (
+    BIN_DEFINITIONS,
+    CoflowMixConfig,
+    generate_coflow_mix,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoflowMixConfig(n_ports=1)
+        with pytest.raises(ValueError):
+            CoflowMixConfig(n_coflows=-1)
+        with pytest.raises(ValueError):
+            CoflowMixConfig(arrival_rate=0)
+        with pytest.raises(ValueError):
+            CoflowMixConfig(deadline_fraction=2.0)
+
+    def test_bin_probabilities_sum_to_one(self):
+        assert sum(b[1] for b in BIN_DEFINITIONS) == pytest.approx(1.0)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        cfg = CoflowMixConfig(n_ports=30, n_coflows=300, arrival_rate=2.0, seed=1)
+        return cfg, generate_coflow_mix(cfg)
+
+    def test_count_and_ids(self, trace):
+        cfg, coflows = trace
+        assert len(coflows) == cfg.n_coflows
+        assert [c.coflow_id for c in coflows] == list(range(cfg.n_coflows))
+
+    def test_arrivals_monotone(self, trace):
+        _, coflows = trace
+        arrivals = [c.arrival_time for c in coflows]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_mean_inter_arrival(self, trace):
+        cfg, coflows = trace
+        arrivals = np.array([c.arrival_time for c in coflows])
+        gaps = np.diff(arrivals)
+        assert gaps.mean() == pytest.approx(1.0 / cfg.arrival_rate, rel=0.3)
+
+    def test_ports_in_range_and_no_self_flows(self, trace):
+        cfg, coflows = trace
+        for c in coflows:
+            for f in c:
+                assert 0 <= f.src < cfg.n_ports
+                assert 0 <= f.dst < cfg.n_ports
+                assert f.src != f.dst
+
+    def test_bin_names_used(self, trace):
+        _, coflows = trace
+        names = {c.name for c in coflows}
+        assert names <= {b[0] for b in BIN_DEFINITIONS}
+        assert "short-narrow" in names  # the 60% bin cannot be absent
+
+    def test_narrow_dominate_by_count_wide_by_bytes(self, trace):
+        _, coflows = trace
+        narrow = [c for c in coflows if "narrow" in c.name]
+        wide = [c for c in coflows if "wide" in c.name]
+        assert len(narrow) > len(wide)
+        assert sum(c.total_volume for c in wide) > sum(
+            c.total_volume for c in narrow
+        )
+
+    def test_deterministic(self):
+        cfg = CoflowMixConfig(n_ports=10, n_coflows=20, seed=9)
+        a = generate_coflow_mix(cfg)
+        b = generate_coflow_mix(cfg)
+        for ca, cb in zip(a, b):
+            assert ca.arrival_time == cb.arrival_time
+            assert ca.total_volume == cb.total_volume
+
+    def test_deadlines_attached_with_positive_slack(self):
+        cfg = CoflowMixConfig(
+            n_ports=10, n_coflows=50, seed=2, deadline_fraction=0.5
+        )
+        coflows = generate_coflow_mix(cfg, rate_for_deadlines=1e6)
+        tagged = [c for c in coflows if c.deadline is not None]
+        assert 5 < len(tagged) < 45
+        for c in tagged:
+            iso = c.bottleneck(cfg.n_ports, 1e6)
+            assert c.deadline >= iso * 1.5 - 1e-9
+
+    def test_runs_through_simulator(self, trace):
+        from repro.network.fabric import Fabric
+        from repro.network.schedulers import make_scheduler
+        from repro.network.simulator import CoflowSimulator
+
+        cfg, coflows = trace
+        sub = coflows[:40]
+        fab = Fabric(n_ports=cfg.n_ports, rate=128e6)
+        res = CoflowSimulator(fab, make_scheduler("sebf")).run(sub)
+        assert len(res.ccts) == len(sub)

@@ -1,0 +1,93 @@
+"""Unit tests for the tuple-level TPC-H-like generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tpch import TPCHConfig, generate_tpch_relations, inject_skew
+
+
+class TestInjectSkew:
+    def test_exact_fraction_rekeyed(self):
+        rng = np.random.default_rng(0)
+        keys = np.arange(2, 1002)  # no key equals 1 initially
+        out = inject_skew(keys, skew=0.2, skewed_key=1, rng=rng)
+        assert (out == 1).sum() == 200
+
+    def test_zero_skew_is_identity(self):
+        rng = np.random.default_rng(0)
+        keys = np.arange(100)
+        out = inject_skew(keys, skew=0.0, skewed_key=1, rng=rng)
+        np.testing.assert_array_equal(out, keys)
+
+    def test_input_not_modified(self):
+        rng = np.random.default_rng(0)
+        keys = np.arange(2, 102)
+        inject_skew(keys, skew=0.5, skewed_key=1, rng=rng)
+        assert (keys == 1).sum() == 0
+
+    def test_invalid_skew(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            inject_skew(np.arange(10), skew=1.0, skewed_key=1, rng=rng)
+
+
+class TestConfig:
+    def test_row_counts_follow_scale_factor(self):
+        cfg = TPCHConfig(scale_factor=0.01)
+        assert cfg.n_customers == 1500
+        assert cfg.n_orders == 15_000
+
+    def test_paper_scale(self):
+        cfg = TPCHConfig(scale_factor=600)
+        assert cfg.n_customers == 90_000_000
+        assert cfg.n_orders == 900_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TPCHConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            TPCHConfig(scale_factor=0)
+        with pytest.raises(ValueError):
+            TPCHConfig(skew=1.5)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def relations(self):
+        cfg = TPCHConfig(n_nodes=6, scale_factor=0.01, skew=0.2, seed=1)
+        return TPCHConfig(n_nodes=6, scale_factor=0.01, skew=0.2, seed=1), \
+            generate_tpch_relations(cfg)
+
+    def test_sizes(self, relations):
+        cfg, (customer, orders) = relations
+        assert customer.total_tuples == cfg.n_customers
+        assert orders.total_tuples == cfg.n_orders
+
+    def test_customer_keys_unique_and_dense(self, relations):
+        _, (customer, _) = relations
+        keys = np.sort(customer.all_keys())
+        np.testing.assert_array_equal(keys, np.arange(1, keys.size + 1))
+
+    def test_orders_keys_within_customer_domain(self, relations):
+        cfg, (_, orders) = relations
+        keys = orders.all_keys()
+        assert keys.min() >= 1 and keys.max() <= cfg.n_customers
+
+    def test_skewed_key_frequency(self, relations):
+        cfg, (_, orders) = relations
+        hot = (orders.all_keys() == cfg.skewed_key).sum()
+        # ~20% injected plus ~uniform background.
+        assert hot >= 0.2 * cfg.n_orders
+
+    def test_zipf_placement_ranks_nodes(self, relations):
+        _, (_, orders) = relations
+        sizes = orders.shard_tuples()
+        # Node 0 holds the most tuples; rough monotonicity on average.
+        assert sizes[0] == sizes.max()
+
+    def test_deterministic(self):
+        cfg = TPCHConfig(n_nodes=3, scale_factor=0.002, seed=42)
+        a_cust, a_ord = generate_tpch_relations(cfg)
+        b_cust, b_ord = generate_tpch_relations(cfg)
+        for a, b in zip(a_cust.shards + a_ord.shards, b_cust.shards + b_ord.shards):
+            np.testing.assert_array_equal(a, b)
