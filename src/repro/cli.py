@@ -10,6 +10,9 @@ Examples
     $ ccf run fig7 --scale-factor 60 --nodes 100
     $ ccf plan --nodes 50 --scale-factor 3 --strategy ccf --out plan.json
     $ ccf simulate plan.json --scheduler sebf
+    $ ccf simulate plan.json --fail-port 0 --fail-at 1 --recover-at 5 \\
+          --recovery replan
+    $ ccf simulate plan.json --chaos-mtbf 3 --chaos-mttr 2 --recovery retry
 """
 
 from __future__ import annotations
@@ -95,6 +98,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--rate", type=float, default=128e6, help="port rate in bytes/s"
+    )
+    simulate.add_argument(
+        "--recovery",
+        choices=["abort", "retry", "replan"],
+        default=None,
+        help="flow-recovery policy (required with failure injection)",
+    )
+    simulate.add_argument(
+        "--fail-port",
+        type=int,
+        action="append",
+        default=None,
+        metavar="PORT",
+        help="kill this port mid-run (repeatable)",
+    )
+    simulate.add_argument(
+        "--fail-at", type=float, default=1.0,
+        help="failure time in seconds (with --fail-port)",
+    )
+    simulate.add_argument(
+        "--recover-at", type=float, default=None,
+        help="repair time in seconds (with --fail-port; default: never)",
+    )
+    simulate.add_argument(
+        "--fail-direction",
+        choices=["both", "ingress", "egress"],
+        default="both",
+        help="which side of the failed port dies",
+    )
+    simulate.add_argument(
+        "--chaos-mtbf", type=float, default=None,
+        help="enable random failures with this mean time between failures (s)",
+    )
+    simulate.add_argument(
+        "--chaos-mttr", type=float, default=2.0,
+        help="mean time to repair for chaos failures (s)",
+    )
+    simulate.add_argument(
+        "--chaos-horizon", type=float, default=None,
+        help="inject chaos failures only before this time (default: 10x MTBF)",
+    )
+    simulate.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the chaos failure schedule",
     )
 
     report = sub.add_parser(
@@ -184,15 +231,74 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("no coflows in file")
         return 1
     n_ports = max(c.max_port for c in coflows) + 1
+    fabric = Fabric(n_ports=n_ports, rate=args.rate)
+
+    dynamics = None
+    if args.fail_port and args.chaos_mtbf:
+        print("--fail-port and --chaos-mtbf are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.fail_port:
+        from repro.network.dynamics import FabricDynamics
+
+        bad = [p for p in args.fail_port if not 0 <= p < n_ports]
+        if bad:
+            print(f"--fail-port out of range: {bad}", file=sys.stderr)
+            return 2
+        try:
+            dynamics = FabricDynamics.fail(
+                time=args.fail_at,
+                ports=args.fail_port,
+                fabric=fabric,
+                recover_at=args.recover_at,
+                direction=args.fail_direction,
+            )
+        except ValueError as exc:
+            print(f"invalid failure schedule: {exc}", file=sys.stderr)
+            return 2
+    elif args.chaos_mtbf:
+        from repro.network.chaos import ChaosConfig, chaos_schedule
+
+        try:
+            dynamics = chaos_schedule(
+                ChaosConfig(
+                    mtbf=args.chaos_mtbf,
+                    mttr=args.chaos_mttr,
+                    horizon=args.chaos_horizon or 10.0 * args.chaos_mtbf,
+                    seed=args.chaos_seed,
+                ),
+                fabric,
+            )
+        except ValueError as exc:
+            print(f"invalid chaos configuration: {exc}", file=sys.stderr)
+            return 2
+    if dynamics is not None and args.recovery is None:
+        print("failure injection needs --recovery {abort,retry,replan}",
+              file=sys.stderr)
+        return 2
+
     sim = CoflowSimulator(
-        Fabric(n_ports=n_ports, rate=args.rate), make_scheduler(args.scheduler)
+        fabric,
+        make_scheduler(args.scheduler),
+        dynamics=dynamics,
+        recovery=args.recovery,
     )
     res = sim.run(coflows)
     print(f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s")
     for cid in sorted(res.ccts):
         print(f"  coflow {cid}: CCT = {res.ccts[cid]:.3f} s")
+    for cid in sorted(res.failed_coflows):
+        print(f"  coflow {cid}: FAILED at t={res.failed_coflows[cid]:.3f} s")
     print(f"average CCT: {res.average_cct:.3f} s, makespan: {res.makespan:.3f} s")
-    return 0
+    if dynamics is not None:
+        s = res.failure_summary()
+        print(
+            f"failures: {s['port_failures']} port failures, "
+            f"{s['reroutes']} reroutes, {s['restarts']} restarts, "
+            f"{s['aborted_coflows']} coflows aborted, "
+            f"{s['bytes_lost']:.3g} bytes lost"
+        )
+    return 0 if not res.failed_coflows else 1
 
 
 #: Experiments cheap enough for the default report.

@@ -34,6 +34,12 @@ class IncrementalPlanner:
         residuals of in-flight shuffles.
     locality_tiebreak:
         Prefer the largest local chunk among equally good destinations.
+    allowed:
+        Optional boolean mask over nodes restricting which destinations
+        may be picked (at least one must be allowed).  Used by the
+        fault-tolerance layer to re-plan chunks around failed ports; the
+        disallowed nodes' loads still count toward the objective ``T``.
+        :meth:`forbid` / :meth:`allow` adjust the mask later.
 
     Examples
     --------
@@ -52,6 +58,7 @@ class IncrementalPlanner:
         initial_send: np.ndarray | None = None,
         initial_recv: np.ndarray | None = None,
         locality_tiebreak: bool = True,
+        allowed: np.ndarray | None = None,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
@@ -60,6 +67,28 @@ class IncrementalPlanner:
         self._send = self._init_load(initial_send, "initial_send")
         self._recv = self._init_load(initial_recv, "initial_recv")
         self._count = 0
+        if allowed is None:
+            self._allowed = np.ones(self.n, dtype=bool)
+        else:
+            self._allowed = np.asarray(allowed, dtype=bool).copy()
+            if self._allowed.shape != (self.n,):
+                raise ValueError(f"allowed must have shape ({self.n},)")
+            if not self._allowed.any():
+                raise ValueError("at least one destination must be allowed")
+
+    def forbid(self, node: int) -> None:
+        """Remove a node from the candidate destinations (e.g. it died)."""
+        if self._allowed.sum() == 1 and self._allowed[node]:
+            raise ValueError("cannot forbid the last allowed destination")
+        self._allowed[node] = False
+
+    def allow(self, node: int) -> None:
+        """Re-admit a node as a candidate destination (e.g. it recovered)."""
+        self._allowed[node] = True
+
+    def allowed_destinations(self) -> np.ndarray:
+        """Copy of the boolean candidate-destination mask."""
+        return self._allowed.copy()
 
     def _init_load(self, arr: np.ndarray | None, name: str) -> np.ndarray:
         if arr is None:
@@ -99,6 +128,13 @@ class IncrementalPlanner:
             raise ValueError("chunk bytes must be non-negative")
         if self.n == 1:
             return 0, self.bottleneck_bytes
+        if self._allowed.sum() == 1:
+            d = int(np.flatnonzero(self._allowed)[0])
+            s_k = float(col.sum())
+            send = self._send + col
+            send[d] -= col[d]
+            recv_d = self._recv[d] + (s_k - col[d])
+            return d, float(max(send.max(), max(self._recv.max(), recv_d)))
 
         s_k = float(col.sum())
         base_send = self._send + col
@@ -113,12 +149,15 @@ class IncrementalPlanner:
         max_recv = np.maximum(max_recv_others, recv_candidate)
 
         t_d = np.maximum(max_send, max_recv)
+        t_masked = np.where(self._allowed, t_d, np.inf)
         if self.locality_tiebreak:
-            t_min = t_d.min()
-            ties = np.flatnonzero(t_d <= t_min * (1 + 1e-12) + 1e-9)
+            t_min = t_masked.min()
+            ties = np.flatnonzero(
+                (t_masked <= t_min * (1 + 1e-12) + 1e-9) & self._allowed
+            )
             d = int(ties[np.argmax(col[ties])])
         else:
-            d = int(t_d.argmin())
+            d = int(t_masked.argmin())
         return d, float(t_d[d])
 
     def assign(self, chunk_bytes: np.ndarray) -> int:

@@ -15,7 +15,7 @@ from repro.experiments.figures import run_fig5_nodes, run_fig6_zipf, run_fig7_sk
 from repro.experiments.motivating import run_motivating
 from repro.experiments.psweep import run_partition_sweep
 from repro.experiments.querybench import run_query_suite
-from repro.experiments.robustness import run_robustness
+from repro.experiments.robustness import run_failure_recovery, run_robustness
 from repro.experiments.solver import run_solver_scaling
 from repro.experiments.summary import run_summary
 from repro.experiments.tables import ResultTable
@@ -37,6 +37,7 @@ EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
     "topology": run_topology_sweep,
     "queries": run_query_suite,
     "robustness": run_robustness,
+    "recovery": run_failure_recovery,
     "validation": run_model_validation,
     "crossover": run_broadcast_crossover,
     "psweep": run_partition_sweep,

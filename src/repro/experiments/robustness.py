@@ -1,25 +1,44 @@
-"""Robustness experiment: disciplines under fabric degradation.
+"""Robustness experiments: disciplines under degradation and node loss.
 
 The paper's long-term goal (§VI) is a system "always highly efficient and
 robust in the presence of different workloads and network configurations".
-This experiment quantifies the network-configuration half: the same CCF
-coflow stream is executed on a healthy fabric and on one where a set of
-ports degrades mid-run, and each discipline's CCT inflation is reported.
-Adaptive (per-epoch re-allocating) disciplines absorb degradation better
-than the uncoordinated baseline.
+These experiments quantify the network-configuration half:
+
+* :func:`run_robustness` -- the same CCF coflow stream executed on a
+  healthy fabric, on one where ports degrade mid-run, and under a seeded
+  chaos schedule of full port failures (repaired after an MTTR), with the
+  failure-log summary surfaced per discipline.
+* :func:`run_failure_recovery` -- schedulers x recovery policies under a
+  deterministic mid-run node loss: how much completion time, lost bytes
+  and failed work each *recovery* strategy (abort / retry / replan)
+  costs, per scheduling discipline.
 """
 
 from __future__ import annotations
 
 from repro.core.framework import CCF
 from repro.experiments.tables import ResultTable
+from repro.network.chaos import ChaosConfig, chaos_schedule
 from repro.network.dynamics import FabricDynamics
 from repro.network.fabric import Fabric
 from repro.network.schedulers import make_scheduler
 from repro.network.simulator import CoflowSimulator
-from repro.workloads.analytic import AnalyticJoinWorkload
 
-__all__ = ["run_robustness"]
+__all__ = ["run_robustness", "run_failure_recovery"]
+
+
+def _ccf_coflows(n_nodes: int, scale_factor: float, n_jobs: int,
+                 inter_arrival: float):
+    from repro.workloads.analytic import AnalyticJoinWorkload
+
+    wl = AnalyticJoinWorkload(
+        n_nodes=n_nodes, scale_factor=scale_factor, partitions=4 * n_nodes
+    )
+    plan = CCF().plan(wl, "ccf")
+    coflows = [
+        plan.to_coflow(arrival_time=j * inter_arrival) for j in range(n_jobs)
+    ]
+    return coflows, Fabric(n_ports=n_nodes, rate=plan.model.rate)
 
 
 def run_robustness(
@@ -32,20 +51,43 @@ def run_robustness(
     degrade_factor: float = 0.25,
     degrade_at: float = 1.0,
     schedulers: tuple[str, ...] = ("fair", "wss", "sebf", "dclas"),
+    seed: int = 0,
+    chaos_mtbf: float = 2.0,
+    chaos_mttr: float = 2.0,
+    chaos_horizon: float = 8.0,
 ) -> ResultTable:
-    """CCT inflation per discipline when ports degrade mid-run."""
-    wl = AnalyticJoinWorkload(
-        n_nodes=n_nodes, scale_factor=scale_factor, partitions=4 * n_nodes
+    """CCT inflation per discipline under degradation and port failures.
+
+    The ``seed`` drives the chaos schedule, so equal seeds reproduce the
+    exact same fault sequence (and therefore the same table) run-to-run.
+    All chaos failures are repaired, and flows are recovered with the
+    ``replan`` policy; the failure-log summary columns report how much
+    recovery work that took.
+    """
+    coflows, fabric = _ccf_coflows(n_nodes, scale_factor, n_jobs, inter_arrival)
+
+    chaos = chaos_schedule(
+        ChaosConfig(
+            mtbf=chaos_mtbf,
+            mttr=chaos_mttr,
+            horizon=chaos_horizon,
+            seed=seed,
+        ),
+        fabric,
     )
-    plan = CCF().plan(wl, "ccf")
-    coflows = [
-        plan.to_coflow(arrival_time=j * inter_arrival) for j in range(n_jobs)
-    ]
-    fabric = Fabric(n_ports=n_nodes, rate=plan.model.rate)
 
     table = ResultTable(
-        title="Robustness: average CCT (s) with mid-run port degradation",
-        columns=["scheduler", "healthy", "degraded", "inflation_x"],
+        title="Robustness: average CCT (s) under degradation and node loss",
+        columns=[
+            "scheduler",
+            "healthy",
+            "degraded",
+            "inflation_x",
+            "chaos",
+            "port_failures",
+            "reroutes",
+            "bytes_lost",
+        ],
     )
     for name in schedulers:
         healthy = CoflowSimulator(fabric, make_scheduler(name)).run(coflows)
@@ -58,6 +100,13 @@ def run_robustness(
         degraded = CoflowSimulator(
             fabric, make_scheduler(name), dynamics=dyn
         ).run(coflows)
+        chaotic = CoflowSimulator(
+            fabric,
+            make_scheduler(name),
+            dynamics=chaos,
+            recovery="replan",
+        ).run(coflows)
+        summary = chaotic.failure_summary()
         table.add_row(
             name,
             healthy.average_cct,
@@ -65,9 +114,90 @@ def run_robustness(
             degraded.average_cct / healthy.average_cct
             if healthy.average_cct
             else float("nan"),
+            chaotic.average_cct,
+            summary["port_failures"],
+            summary["reroutes"],
+            summary["bytes_lost"],
         )
     table.add_note(
         f"ports {list(degrade_ports)} drop to {degrade_factor:.0%} of their "
         f"rate at t={degrade_at}s; {n_jobs} CCF join coflows in flight"
+    )
+    table.add_note(
+        f"chaos column: seeded (seed={seed}) MTBF={chaos_mtbf}s / "
+        f"MTTR={chaos_mttr}s full port failures, replan recovery"
+    )
+    return table
+
+
+def run_failure_recovery(
+    *,
+    n_nodes: int = 16,
+    scale_factor: float = 0.4,
+    n_jobs: int = 4,
+    inter_arrival: float = 1.0,
+    fail_ports: tuple[int, ...] = (0,),
+    fail_at: float = 0.1,
+    recover_at: float = 12.0,
+    fail_direction: str = "ingress",
+    schedulers: tuple[str, ...] = ("fair", "sebf", "dclas"),
+    policies: tuple[str, ...] = ("abort", "retry", "replan"),
+) -> ResultTable:
+    """Schedulers x recovery policies under a deterministic node loss.
+
+    One node dies mid-run and comes back much later; each recovery policy
+    pays a different price: ``abort`` loses whole coflows, ``retry``
+    waits out the downtime and re-sends lost progress, ``replan``
+    reassigns the lost chunks to survivors immediately.
+
+    The default ``fail_direction="ingress"`` models a receiver-side loss
+    (reducer/storage dies, map outputs stay readable) -- the case where
+    replanning chunk placement can actually route around the hole.  With
+    ``"both"`` (full node loss) the dead node's *source* data is gone
+    too, so every policy must wait for the repair and replan's edge
+    shrinks to its rerouted receive side.
+    """
+    coflows, fabric = _ccf_coflows(n_nodes, scale_factor, n_jobs, inter_arrival)
+
+    table = ResultTable(
+        title="Failure recovery: cost of node loss per scheduler x policy",
+        columns=[
+            "scheduler",
+            "policy",
+            "avg_cct",
+            "completed",
+            "failed",
+            "restarts",
+            "reroutes",
+            "bytes_lost",
+        ],
+    )
+    for name in schedulers:
+        for policy in policies:
+            dyn = FabricDynamics.fail(
+                time=fail_at,
+                ports=list(fail_ports),
+                fabric=fabric,
+                recover_at=recover_at,
+                direction=fail_direction,
+            )
+            res = CoflowSimulator(
+                fabric, make_scheduler(name), dynamics=dyn, recovery=policy
+            ).run(coflows)
+            summary = res.failure_summary()
+            table.add_row(
+                name,
+                policy,
+                res.average_cct,
+                len(res.ccts),
+                len(res.failed_coflows),
+                summary["restarts"],
+                summary["reroutes"],
+                summary["bytes_lost"],
+            )
+    table.add_note(
+        f"ports {list(fail_ports)} lose their {fail_direction} side at "
+        f"t={fail_at}s and recover at t={recover_at}s; "
+        f"{n_jobs} CCF join coflows in flight"
     )
     return table

@@ -15,16 +15,38 @@ back-end).  It provides:
   worst-case sequential schedule used by the paper's motivating example.
 * :mod:`repro.network.topology` -- an optional link-capacity extension
   (RAPIER-flavoured) beyond the non-blocking switch.
+* :mod:`repro.network.dynamics` / :mod:`repro.network.recovery` /
+  :mod:`repro.network.chaos` -- the fault-tolerance layer: scheduled
+  rate changes and port failures, pluggable flow-recovery policies
+  (abort / retry / replan), and a seeded MTBF/MTTR chaos harness.
 """
 
+from repro.network.chaos import ChaosConfig, chaos_schedule
+from repro.network.dynamics import FabricDynamics, RateEvent
 from repro.network.fabric import Fabric
 from repro.network.flow import Coflow, Flow
+from repro.network.recovery import (
+    AbortPolicy,
+    RecoveryPolicy,
+    ReplanPolicy,
+    RetryPolicy,
+    make_recovery_policy,
+)
 from repro.network.simulator import CoflowSimulator, SimulationResult
 
 __all__ = [
+    "AbortPolicy",
+    "ChaosConfig",
     "Coflow",
     "CoflowSimulator",
     "Fabric",
+    "FabricDynamics",
     "Flow",
+    "RateEvent",
+    "RecoveryPolicy",
+    "ReplanPolicy",
+    "RetryPolicy",
     "SimulationResult",
+    "chaos_schedule",
+    "make_recovery_policy",
 ]

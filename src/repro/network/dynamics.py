@@ -4,8 +4,11 @@ The paper's long-term goal is a system "robust in the presence of
 different workloads and network configurations" (§VI).  This module lets
 the simulator model the network-configuration half: scheduled changes to
 per-port rates (background traffic stealing bandwidth, degraded links,
-recovering ports).  The fluid simulator splits epochs at every event so
-rate allocations are always computed against the current capacities.
+recovering ports) and, since the fault-tolerance extension, outright port
+*failures* -- a rate of exactly zero marks the direction dead.  The fluid
+simulator splits epochs at every event so rate allocations are always
+computed against the current capacities, and hands flows pinned to a dead
+port to a :mod:`repro.network.recovery` policy instead of deadlocking.
 """
 
 from __future__ import annotations
@@ -31,9 +34,10 @@ class RateEvent:
         Affected port index.
     egress, ingress:
         New capacities in bytes/second; ``None`` leaves the direction
-        unchanged.  Capacities must remain strictly positive (a dead port
-        would deadlock flows pinned to it; model failure as severe
-        degradation instead).
+        unchanged.  A capacity of exactly ``0.0`` marks the direction
+        *dead* (port failure): the simulator strands flows pinned to it
+        and applies the run's recovery policy.  Negative rates are
+        rejected.
     """
 
     time: float
@@ -47,23 +51,67 @@ class RateEvent:
         if self.port < 0:
             raise ValueError("port must be non-negative")
         for v, nm in ((self.egress, "egress"), (self.ingress, "ingress")):
-            if v is not None and v <= 0:
-                raise ValueError(f"{nm} rate must stay strictly positive")
+            if v is not None and v < 0:
+                raise ValueError(f"{nm} rate must be non-negative")
         if self.egress is None and self.ingress is None:
             raise ValueError("event must change at least one direction")
+
+    @property
+    def is_failure(self) -> bool:
+        """True when the event kills at least one direction (rate 0)."""
+        return self.egress == 0.0 or self.ingress == 0.0
+
+    @classmethod
+    def failure(cls, time: float, port: int) -> "RateEvent":
+        """A full port failure: both directions go dark at ``time``."""
+        return cls(time=time, port=port, egress=0.0, ingress=0.0)
+
+    @classmethod
+    def recovery(
+        cls, time: float, port: int, *, egress: float, ingress: float
+    ) -> "RateEvent":
+        """A repair event restoring both directions of ``port``."""
+        if egress <= 0 or ingress <= 0:
+            raise ValueError("recovery must restore strictly positive rates")
+        return cls(time=time, port=port, egress=egress, ingress=ingress)
 
 
 @dataclass
 class FabricDynamics:
-    """An ordered schedule of :class:`RateEvent` changes."""
+    """An ordered schedule of :class:`RateEvent` changes.
+
+    The schedule is *reusable*: :meth:`apply_due` advances an internal
+    cursor instead of consuming events, so the same object can drive any
+    number of simulations (call :meth:`rewind` between manual replays;
+    :class:`~repro.network.simulator.CoflowSimulator` works on a private
+    copy and never mutates the caller's schedule).
+
+    Events sharing the same timestamp are applied in their sorted
+    (stable) order, so a later entry on the same port wins.
+    """
 
     events: list[RateEvent] = field(default_factory=list)
+    _cursor: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.events = sorted(self.events, key=lambda e: e.time)
 
     def __len__(self) -> int:
         return len(self.events)
+
+    @property
+    def has_failures(self) -> bool:
+        """True when any scheduled event zeroes a port direction."""
+        return any(e.is_failure for e in self.events)
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet applied (cursor to end)."""
+        return len(self.events) - self._cursor
+
+    def rewind(self) -> None:
+        """Reset the cursor so the schedule can be replayed from t=0."""
+        self._cursor = 0
 
     def validate_against(self, fabric: Fabric) -> None:
         """Check every event references a real port."""
@@ -75,28 +123,31 @@ class FabricDynamics:
                 )
 
     def next_event_time(self, now: float) -> float | None:
-        """Earliest event strictly after ``now``, or None."""
-        for e in self.events:
+        """Earliest unapplied event strictly after ``now``, or None."""
+        for e in self.events[self._cursor:]:
             if e.time > now + 1e-15:
                 return e.time
         return None
 
     def apply_due(self, fabric: Fabric, now: float) -> bool:
-        """Apply all events with ``time <= now`` exactly once.
+        """Apply all unapplied events with ``time <= now`` exactly once.
 
-        Events are consumed (removed from the schedule).  Returns True
-        when any change was applied.
+        The events stay in the schedule (the cursor advances past them),
+        so the same :class:`FabricDynamics` can drive multiple runs after
+        a :meth:`rewind`.  Returns True when any change was applied.
         """
-        due = [e for e in self.events if e.time <= now + 1e-15]
-        if not due:
-            return False
-        self.events = [e for e in self.events if e.time > now + 1e-15]
-        for e in due:
+        applied = False
+        while self._cursor < len(self.events):
+            e = self.events[self._cursor]
+            if e.time > now + 1e-15:
+                break
             if e.egress is not None:
                 fabric.egress_rates[e.port] = e.egress
             if e.ingress is not None:
                 fabric.ingress_rates[e.port] = e.ingress
-        return True
+            self._cursor += 1
+            applied = True
+        return applied
 
     @classmethod
     def degrade(
@@ -129,6 +180,59 @@ class FabricDynamics:
                 events.append(
                     RateEvent(
                         time=recover_at, port=p, egress=orig_e, ingress=orig_i
+                    )
+                )
+        return cls(events=events)
+
+    @classmethod
+    def fail(
+        cls,
+        *,
+        time: float,
+        ports: list[int],
+        fabric: Fabric,
+        recover_at: float | None = None,
+        direction: str = "both",
+    ) -> "FabricDynamics":
+        """Convenience: kill ``ports`` (affected directions go to zero).
+
+        ``direction`` selects what dies: ``"both"`` models a full node
+        loss, ``"ingress"`` a receiver-side loss (the reducer/storage on
+        the node dies but its map outputs remain readable -- the case the
+        ``replan`` policy is designed for), ``"egress"`` a sender-side
+        loss.  With ``recover_at`` set, repair events restore the
+        original rates at that time; without it the ports stay dead for
+        the whole run, which only the ``abort`` and ``replan`` recovery
+        policies can survive.
+        """
+        if direction not in ("both", "ingress", "egress"):
+            raise ValueError(
+                f"direction must be 'both', 'ingress' or 'egress', "
+                f"got {direction!r}"
+            )
+        events: list[RateEvent] = []
+        for p in ports:
+            events.append(
+                RateEvent(
+                    time=time,
+                    port=p,
+                    egress=0.0 if direction in ("both", "egress") else None,
+                    ingress=0.0 if direction in ("both", "ingress") else None,
+                )
+            )
+            if recover_at is not None:
+                if recover_at <= time:
+                    raise ValueError("recover_at must be after the failure time")
+                events.append(
+                    RateEvent(
+                        time=recover_at,
+                        port=p,
+                        egress=float(fabric.egress_rates[p])
+                        if direction in ("both", "egress")
+                        else None,
+                        ingress=float(fabric.ingress_rates[p])
+                        if direction in ("both", "ingress")
+                        else None,
                     )
                 )
         return cls(events=events)

@@ -93,9 +93,17 @@ class SchedulingContext:
         n = self.fabric.n_ports
         send = np.bincount(self.srcs[idx], weights=self.remaining[idx], minlength=n)
         recv = np.bincount(self.dsts[idx], weights=self.remaining[idx], minlength=n)
-        return float(
-            max(
-                (send / self.fabric.egress_rates).max(),
-                (recv / self.fabric.ingress_rates).max(),
+        # A failed port has zero capacity; load routed through it would
+        # need infinite time, while an idle dead port contributes nothing.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_out = np.where(
+                self.fabric.egress_rates > 0,
+                send / self.fabric.egress_rates,
+                np.where(send > 0, np.inf, 0.0),
             )
-        )
+            t_in = np.where(
+                self.fabric.ingress_rates > 0,
+                recv / self.fabric.ingress_rates,
+                np.where(recv > 0, np.inf, 0.0),
+            )
+        return float(max(t_out.max(), t_in.max()))

@@ -62,6 +62,23 @@ class Fabric:
             if (arr <= 0).any():
                 raise ValueError(f"{name}_rates must be strictly positive")
 
+    def egress_alive(self) -> np.ndarray:
+        """Boolean mask of ports that can currently send (rate > 0).
+
+        Construction requires strictly positive rates; a zero only appears
+        mid-simulation when a failure event from
+        :mod:`repro.network.dynamics` kills the direction.
+        """
+        return self.egress_rates > 0
+
+    def ingress_alive(self) -> np.ndarray:
+        """Boolean mask of ports that can currently receive (rate > 0)."""
+        return self.ingress_rates > 0
+
+    def alive(self) -> np.ndarray:
+        """Boolean mask of fully functional ports (both directions up)."""
+        return self.egress_alive() & self.ingress_alive()
+
     @property
     def uniform(self) -> bool:
         """True when every port has the same ingress and egress rate."""

@@ -11,6 +11,12 @@ epochs, each costing one scheduler invocation.
 The simulator validates every allocation against the fabric's port
 capacities, so an infeasible scheduler fails loudly rather than silently
 producing optimistic CCTs.
+
+Fault tolerance: when the attached :class:`FabricDynamics` schedule kills
+a port (rate zero), flows pinned to it are detected and handed to the
+run's :class:`~repro.network.recovery.RecoveryPolicy` (abort / retry /
+replan) instead of deadlocking; every failure and recovery action is
+recorded in the structured failure log on :class:`SimulationResult`.
 """
 
 from __future__ import annotations
@@ -24,6 +30,13 @@ from repro.network.dynamics import FabricDynamics
 from repro.network.events import CoflowProgress, SchedulingContext
 from repro.network.fabric import Fabric
 from repro.network.flow import Coflow
+from repro.network.recovery import (
+    ActiveFlows,
+    FailureRecord,
+    RecoveryManager,
+    RecoveryPolicy,
+    make_recovery_policy,
+)
 from repro.network.schedulers.base import CoflowScheduler
 
 __all__ = ["CoflowSimulator", "SimulationResult", "Epoch"]
@@ -49,15 +62,24 @@ class SimulationResult:
     Attributes
     ----------
     completion_times:
-        Absolute finish time of each coflow, keyed by coflow id.
+        Absolute finish time of each *completed* coflow, keyed by id.
     ccts:
         Coflow completion times (finish - arrival), keyed by coflow id.
     makespan:
-        Finish time of the last coflow.
+        Finish time of the last completed coflow.
     total_bytes:
-        Total volume delivered.
+        Total input volume of all admitted coflows (re-transmissions after
+        failures are not double-counted here; see ``bytes_lost``).
     epochs:
         Per-epoch trace (only when the run recorded a timeline).
+    failures:
+        Structured failure log: port failures/recoveries and every
+        recovery action taken (aborts, suspends, reroutes, resumes) with
+        the bytes each one lost.  Empty on failure-free runs.
+    failed_coflows:
+        Coflows that never completed because the recovery policy aborted
+        them (or they were unrecoverable), mapped to the abort time.
+        These carry no CCT and are excluded from ``average_cct``.
     """
 
     completion_times: dict[int, float]
@@ -65,10 +87,12 @@ class SimulationResult:
     makespan: float
     total_bytes: float
     epochs: list[Epoch] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
+    failed_coflows: dict[int, float] = field(default_factory=dict)
 
     @property
     def average_cct(self) -> float:
-        """Mean CCT across coflows -- the headline metric of Varys/Aalo."""
+        """Mean CCT across completed coflows -- the headline metric."""
         if not self.ccts:
             return 0.0
         return float(np.mean(list(self.ccts.values())))
@@ -84,6 +108,31 @@ class SimulationResult:
         """CCT of one coflow by id."""
         return self.ccts[coflow_id]
 
+    @property
+    def bytes_lost(self) -> float:
+        """Total bytes lost to failures (re-sent or abandoned)."""
+        return float(sum(r.bytes_lost for r in self.failures))
+
+    @property
+    def n_port_failures(self) -> int:
+        """Number of port-failure events observed during the run."""
+        return sum(1 for r in self.failures if r.kind == "port_failed")
+
+    def failure_summary(self) -> dict[str, float]:
+        """Aggregate failure/recovery counters for experiment tables."""
+        kinds = [r.kind for r in self.failures]
+        return {
+            "port_failures": kinds.count("port_failed"),
+            "reroutes": sum(
+                r.flows for r in self.failures if r.kind == "reroute"
+            ),
+            "restarts": sum(
+                r.flows for r in self.failures if r.kind == "resume"
+            ),
+            "aborted_coflows": len(self.failed_coflows),
+            "bytes_lost": self.bytes_lost,
+        }
+
 
 class CoflowSimulator:
     """Fluid-flow simulator for a set of coflows on a non-blocking fabric.
@@ -96,6 +145,12 @@ class CoflowSimulator:
         Inter-coflow scheduling discipline deciding per-epoch rates.
     record_timeline:
         When True, keep an :class:`Epoch` trace (memory grows with epochs).
+    dynamics:
+        Optional schedule of mid-run port-rate changes (and failures).
+    recovery:
+        Recovery policy (or registry name ``"abort"`` / ``"retry"`` /
+        ``"replan"``) applied to flows stranded by port failures.
+        Required whenever ``dynamics`` contains failure events.
 
     Examples
     --------
@@ -117,14 +172,24 @@ class CoflowSimulator:
         record_timeline: bool = False,
         max_epochs: int = 10_000_000,
         dynamics: "FabricDynamics | None" = None,
+        recovery: "RecoveryPolicy | str | None" = None,
     ) -> None:
         self.fabric = fabric
         self.scheduler = scheduler
         self.record_timeline = record_timeline
         self.max_epochs = max_epochs
         self.dynamics = dynamics
+        if isinstance(recovery, str):
+            recovery = make_recovery_policy(recovery)
+        self.recovery = recovery
         if dynamics is not None:
             dynamics.validate_against(fabric)
+            if dynamics.has_failures and recovery is None:
+                raise ValueError(
+                    "dynamics schedule contains port-failure events "
+                    "(rate 0); pass recovery='abort'|'retry'|'replan' "
+                    "(or a RecoveryPolicy) so stranded flows are handled"
+                )
 
     def run(
         self,
@@ -164,6 +229,7 @@ class CoflowSimulator:
         # schedule so runs are repeatable and the caller's fabric pristine.
         fabric = self.fabric
         dynamics: FabricDynamics | None = None
+        recovery: RecoveryManager | None = None
         if self.dynamics is not None:
             fabric = Fabric(
                 n_ports=self.fabric.n_ports,
@@ -172,6 +238,8 @@ class CoflowSimulator:
                 ingress_rates=self.fabric.ingress_rates,
             )
             dynamics = FabricDynamics(list(self.dynamics.events))
+            if self.recovery is not None:
+                recovery = RecoveryManager(self.recovery, fabric.n_ports)
 
         progress = {
             c.coflow_id: CoflowProgress(
@@ -227,15 +295,16 @@ class CoflowSimulator:
                 pending.append(c)
             pending.sort(key=lambda c: (c.arrival_time, c.coflow_id))
 
-        # Flat state for active flows.
-        srcs = np.empty(0, dtype=np.int64)
-        dsts = np.empty(0, dtype=np.int64)
-        remaining = np.empty(0)
-        cids = np.empty(0, dtype=np.int64)
+        fl = ActiveFlows.empty()
 
         t = 0.0
         epochs: list[Epoch] = []
         completion: dict[int, float] = {}
+
+        def complete(cid: int, now: float) -> None:
+            completion[cid] = now
+            progress[cid].completion_time = now
+            inject_after(cid, now)
 
         for _ in range(self.max_epochs):
             # Admit coflows that have arrived.
@@ -243,43 +312,80 @@ class CoflowSimulator:
                 cf = pending.pop(0)
                 if cf.width == 0:
                     # Degenerate coflow with no network flows completes instantly.
-                    completion[cf.coflow_id] = max(t, cf.arrival_time)
-                    progress[cf.coflow_id].completion_time = completion[cf.coflow_id]
-                    inject_after(cf.coflow_id, completion[cf.coflow_id])
+                    complete(cf.coflow_id, max(t, cf.arrival_time))
                     continue
-                srcs = np.concatenate([srcs, [f.src for f in cf.flows]]).astype(np.int64)
-                dsts = np.concatenate([dsts, [f.dst for f in cf.flows]]).astype(np.int64)
-                remaining = np.concatenate([remaining, [f.volume for f in cf.flows]])
-                cids = np.concatenate([cids, [cf.coflow_id] * cf.width]).astype(np.int64)
+                vols = np.array([f.volume for f in cf.flows], dtype=float)
+                fl.append(
+                    srcs=np.array([f.src for f in cf.flows]),
+                    dsts=np.array([f.dst for f in cf.flows]),
+                    remaining=vols.copy(),
+                    volume0=vols.copy(),
+                    attempts=np.zeros(cf.width, dtype=np.int64),
+                    cids=np.full(cf.width, cf.coflow_id),
+                )
 
+            changed = False
             if dynamics is not None:
-                dynamics.apply_due(fabric, t)
+                changed = dynamics.apply_due(fabric, t)
 
-            if srcs.size == 0:
-                if not pending:
-                    break
-                t = pending[0].arrival_time
-                continue
+            # Fault handling: strand flows pinned to dead ports, resume
+            # recovered ones, and apply the recovery policy.
+            if recovery is not None and (
+                changed or recovery.any_dead(fabric) or recovery.has_suspended
+            ):
+                aborted, local = recovery.step(fabric, t, fl, progress)
+                for cid in local:
+                    # Replan kept the chunk on its source: if that was the
+                    # coflow's last outstanding flow, the coflow is done.
+                    if (
+                        cid not in completion
+                        and cid not in recovery.failed_coflows
+                        and not (fl.cids == cid).any()
+                        and cid not in recovery.suspended_coflow_ids()
+                    ):
+                        complete(cid, t)
+
+            if fl.size == 0:
+                waits = []
+                if pending:
+                    waits.append(pending[0].arrival_time)
+                if dynamics is not None:
+                    nxt = dynamics.next_event_time(t)
+                    if nxt is not None:
+                        waits.append(nxt)
+                if recovery is not None:
+                    wake = recovery.next_wakeup(fabric, t)
+                    if wake is not None:
+                        waits.append(wake)
+                if waits:
+                    t = max(min(waits), t)
+                    continue
+                if recovery is not None and recovery.has_suspended:
+                    # Parked flows with no recovery event ever coming.
+                    recovery.abort_unrecoverable(t)
+                break
 
             ctx = SchedulingContext(
                 time=t,
                 fabric=fabric,
-                srcs=srcs,
-                dsts=dsts,
-                remaining=remaining,
-                coflow_ids=cids,
+                srcs=fl.srcs,
+                dsts=fl.dsts,
+                remaining=fl.remaining,
+                coflow_ids=fl.cids,
                 progress=progress,
             )
             rates = np.asarray(self.scheduler.allocate(ctx), dtype=float)
-            if rates.shape != srcs.shape:
+            if rates.shape != fl.srcs.shape:
                 raise ValueError(
-                    f"scheduler returned {rates.shape}, expected {srcs.shape}"
+                    f"scheduler returned {rates.shape}, expected {fl.srcs.shape}"
                 )
-            fabric.validate_rates(srcs, dsts, rates)
+            fabric.validate_rates(fl.srcs, fl.dsts, rates)
 
             positive = rates > 0
             if positive.any():
-                dt_complete = float((remaining[positive] / rates[positive]).min())
+                dt_complete = float(
+                    (fl.remaining[positive] / rates[positive]).min()
+                )
             else:
                 dt_complete = np.inf
             dt_arrival = (
@@ -293,9 +399,13 @@ class CoflowSimulator:
                 nxt = dynamics.next_event_time(t)
                 if nxt is not None:
                     dt = min(dt, nxt - t)
+            if recovery is not None:
+                wake = recovery.next_wakeup(fabric, t)
+                if wake is not None:
+                    dt = min(dt, wake - t)
             if not np.isfinite(dt):
                 raise RuntimeError(
-                    f"scheduler starved all {srcs.size} active flows at t={t:.6g} "
+                    f"scheduler starved all {fl.size} active flows at t={t:.6g} "
                     "with no pending arrivals (deadlock)"
                 )
             dt = max(dt, 0.0)
@@ -305,30 +415,39 @@ class CoflowSimulator:
                     Epoch(
                         start=t,
                         duration=dt,
-                        active_flows=int(srcs.size),
+                        active_flows=fl.size,
                         aggregate_rate=float(rates.sum()),
                     )
                 )
 
             # Drain volumes and credit attained service per coflow.
             delivered = rates * dt
-            remaining = remaining - delivered
-            for cid in np.unique(cids):
-                progress[int(cid)].sent_bytes += float(delivered[cids == cid].sum())
+            fl.remaining = fl.remaining - delivered
+            for cid in np.unique(fl.cids):
+                progress[int(cid)].sent_bytes += float(
+                    delivered[fl.cids == cid].sum()
+                )
             t += dt
 
-            done = remaining <= _VOLUME_EPS
+            done = fl.remaining <= _VOLUME_EPS
             if done.any():
-                for cid in np.unique(cids[done]):
-                    cid = int(cid)
-                    if not (~done & (cids == cid)).any():
-                        completion[cid] = t
-                        progress[cid].completion_time = t
-                        inject_after(cid, t)
-                keep = ~done
-                srcs, dsts, remaining, cids = (
-                    srcs[keep], dsts[keep], remaining[keep], cids[keep],
+                suspended_cids = (
+                    recovery.suspended_coflow_ids()
+                    if recovery is not None
+                    else set()
                 )
+                for cid in np.unique(fl.cids[done]):
+                    cid = int(cid)
+                    if (~done & (fl.cids == cid)).any():
+                        continue
+                    if cid in suspended_cids:
+                        # Other flows of this coflow are parked on a dead
+                        # port; the coflow is not finished yet.
+                        continue
+                    complete(cid, t)
+                # Flows of incomplete coflows that drained to zero are
+                # removed either way; parked siblings keep the coflow open.
+                fl.keep(~done)
         else:  # pragma: no cover - loop guard
             raise RuntimeError(f"simulation exceeded max_epochs={self.max_epochs}")
 
@@ -342,6 +461,10 @@ class CoflowSimulator:
             makespan=makespan,
             total_bytes=total_bytes,
             epochs=epochs,
+            failures=list(recovery.records) if recovery is not None else [],
+            failed_coflows=(
+                dict(recovery.failed_coflows) if recovery is not None else {}
+            ),
         )
 
     @staticmethod

@@ -81,3 +81,51 @@ class TestAPI:
         planner = IncrementalPlanner(n_nodes=1)
         assert planner.assign(np.array([5.0])) == 0
         assert planner.bottleneck_bytes == 0.0
+
+
+class TestAllowedMask:
+    def test_forbidden_node_never_chosen(self):
+        allowed = np.array([True, False, True])
+        planner = IncrementalPlanner(n_nodes=3, allowed=allowed)
+        for k in range(20):
+            col = np.zeros(3)
+            col[k % 3] = 5.0  # locality pull toward every node in turn
+            assert planner.assign(col) != 1
+
+    def test_mask_validation(self):
+        with pytest.raises(ValueError, match="allowed"):
+            IncrementalPlanner(n_nodes=2, allowed=np.array([True]))
+        with pytest.raises(ValueError, match="allowed"):
+            IncrementalPlanner(n_nodes=2, allowed=np.array([False, False]))
+
+    def test_forbid_and_allow_toggle(self):
+        planner = IncrementalPlanner(n_nodes=2)
+        planner.forbid(0)
+        assert planner.assign(np.array([9.0, 0.0])) == 1
+        planner.allow(0)
+        # Node 0 holds all 9 bytes locally; locality wins again.
+        assert planner.assign(np.array([9.0, 0.0])) == 0
+        with pytest.raises(ValueError, match="last allowed"):
+            p = IncrementalPlanner(n_nodes=2, allowed=np.array([True, False]))
+            p.forbid(0)
+
+    def test_allowed_destinations(self):
+        planner = IncrementalPlanner(
+            n_nodes=4, allowed=np.array([True, False, True, True])
+        )
+        mask = planner.allowed_destinations()
+        np.testing.assert_array_equal(np.flatnonzero(mask), [0, 2, 3])
+        mask[1] = True  # a copy: mutating it must not affect the planner
+        assert planner.assign(np.array([0.0, 9.0, 0.0, 0.0])) != 1
+
+    def test_matches_heuristic_on_surviving_subset(self, rng):
+        # Masking node d must give the same placement as running the
+        # unmasked planner on a model whose columns avoid d entirely.
+        m = random_model(rng, 4, 8)
+        h = m.h.copy()
+        h[3, :] = 0.0  # no data originates at the dead node
+        masked = IncrementalPlanner(
+            n_nodes=4, allowed=np.array([True, True, True, False])
+        )
+        picks = [masked.assign(h[:, k]) for k in range(8)]
+        assert all(p != 3 for p in picks)

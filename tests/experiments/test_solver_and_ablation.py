@@ -98,6 +98,7 @@ class TestRegistry:
             "topology",
             "queries",
             "robustness",
+            "recovery",
             "validation",
             "crossover",
             "psweep",

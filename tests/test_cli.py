@@ -43,3 +43,71 @@ class TestMain:
         assert main(["run", "motivating", "--markdown"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("**")
+
+
+class TestSimulateFailureInjection:
+    @pytest.fixture()
+    def plan_file(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        assert main(
+            ["plan", "--nodes", "6", "--scale-factor", "0.2", "--out", path]
+        ) == 0
+        return path
+
+    def test_fail_port_with_replan(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--fail-at", "0.05",
+             "--recover-at", "5", "--fail-direction", "ingress",
+             "--recovery", "replan"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failures:" in out and "reroutes" in out
+
+    def test_abort_exits_nonzero_and_reports(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--fail-at", "0.05",
+             "--recovery", "abort"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "coflows aborted" in out
+
+    def test_chaos_run(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--chaos-mtbf", "1", "--chaos-mttr", "1",
+             "--chaos-seed", "2", "--recovery", "retry"]
+        ) == 0
+        assert "failures:" in capsys.readouterr().out
+
+    def test_failure_needs_recovery_policy(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0"]
+        ) == 2
+        assert "--recovery" in capsys.readouterr().err
+
+    def test_fail_port_and_chaos_exclusive(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--chaos-mtbf", "1",
+             "--recovery", "retry"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_fail_port_out_of_range(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "99",
+             "--recovery", "retry"]
+        ) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_recover_before_failure_is_a_clean_error(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--fail-at", "2",
+             "--recover-at", "1", "--recovery", "retry"]
+        ) == 2
+        assert "invalid failure schedule" in capsys.readouterr().err
+
+    def test_bad_chaos_config_is_a_clean_error(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--chaos-mtbf", "-1",
+             "--recovery", "retry"]
+        ) == 2
+        assert "invalid chaos configuration" in capsys.readouterr().err
