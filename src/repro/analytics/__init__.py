@@ -10,18 +10,35 @@ either in closed form or through the coflow simulator.
 
 from repro.analytics.catalog import Catalog, TableStats
 from repro.analytics.compile import QueryExecutor, QueryResult, estimate, optimize_joins
-from repro.analytics.dag import DAGExecutor, DAGResult, JobDAG
+from repro.analytics.dag import DAGExecutor, DAGResult, DAGStageResult, JobDAG
 from repro.analytics.executor import JobExecutor, JobResult, StageResult
 from repro.analytics.logical import Distinct, EquiJoin, Filter, GroupByKey, Scan
 from repro.analytics.query import AnalyticalJob, Stage
+from repro.analytics.stagepolicy import (
+    STAGE_POLICIES,
+    FailJobPolicy,
+    ReplanStagePolicy,
+    RetryStagePolicy,
+    StageFailureEvent,
+    StagePolicy,
+    make_stage_policy,
+)
 
 __all__ = [
     "AnalyticalJob",
     "Catalog",
     "DAGExecutor",
     "DAGResult",
+    "DAGStageResult",
     "JobDAG",
     "Distinct",
+    "FailJobPolicy",
+    "ReplanStagePolicy",
+    "RetryStagePolicy",
+    "STAGE_POLICIES",
+    "StageFailureEvent",
+    "StagePolicy",
+    "make_stage_policy",
     "EquiJoin",
     "Filter",
     "GroupByKey",

@@ -10,16 +10,33 @@ Two measurement paths:
   simulator with a chosen discipline, each arriving when its predecessor
   completes; exposes the gap between the model and, e.g., per-flow fair
   sharing.
+
+Job-level fault tolerance rides on the simulated path: pass a
+``dynamics`` failure schedule plus a ``stage_policy`` and the sequential
+job is executed as a linear :class:`~repro.analytics.dag.JobDAG` through
+the failure-aware :class:`~repro.analytics.dag.DAGExecutor` -- stages are
+retried or replanned on surviving nodes, and the per-stage failure /
+retry records land on :class:`StageResult` / :class:`JobResult` instead
+of being dropped.  Plan-time estimate noise
+(:class:`~repro.core.noise.NoisyEstimates`) works on both paths: the
+assignment is computed from the degraded view, the reported time always
+charges the true bytes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from repro.analytics.dag import DAGExecutor, JobDAG
 from repro.analytics.query import AnalyticalJob
+from repro.analytics.stagepolicy import StageFailureEvent, StagePolicy
 from repro.core.framework import CCF
+from repro.core.noise import NoisyEstimates
 from repro.core.plan import ExecutionPlan
+from repro.network.dynamics import FabricDynamics
 from repro.network.fabric import Fabric
+from repro.network.recovery import FailureRecord
 from repro.network.schedulers import make_scheduler
 from repro.network.simulator import CoflowSimulator
 
@@ -28,30 +45,80 @@ __all__ = ["JobExecutor", "JobResult", "StageResult"]
 
 @dataclass
 class StageResult:
-    """Per-stage outcome: the plan plus its measured communication time."""
+    """Per-stage outcome: the plan plus its measured communication time.
+
+    ``status`` / ``attempts`` / ``failures`` / ``events`` mirror
+    :class:`~repro.analytics.dag.DAGStageResult`: on a failure-free run
+    every stage is ``"completed"`` in one attempt with empty logs.  A
+    failed or skipped stage reports ``communication_seconds`` of ``nan``.
+    """
 
     name: str
-    plan: ExecutionPlan
+    plan: ExecutionPlan | None
     communication_seconds: float
+    status: str = "completed"
+    attempts: int = 1
+    failures: list[FailureRecord] = field(default_factory=list)
+    events: list[StageFailureEvent] = field(default_factory=list)
+
+    @property
+    def bytes_lost(self) -> float:
+        """Bytes thrown away by this stage's failed attempts."""
+        return float(sum(r.bytes_lost for r in self.failures))
 
 
 @dataclass
 class JobResult:
-    """Whole-job outcome."""
+    """Whole-job outcome, including the structured failure/retry log."""
 
     job_name: str
     strategy: str
     stages: list[StageResult] = field(default_factory=list)
+    events: list[StageFailureEvent] = field(default_factory=list)
+    fabric_failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True when every stage finished successfully."""
+        return all(s.status == "completed" for s in self.stages)
+
+    @property
+    def failed(self) -> bool:
+        """True when the job gave up on some stage."""
+        return not self.completed
 
     @property
     def total_communication_seconds(self) -> float:
-        """End-to-end network communication time of the job."""
+        """End-to-end network communication time of the job.
+
+        ``nan`` when the job failed (there is no meaningful total).
+        """
+        if not self.completed:
+            return math.nan
         return float(sum(s.communication_seconds for s in self.stages))
 
     @property
     def total_traffic(self) -> float:
-        """Total bytes moved across all stages."""
-        return float(sum(s.plan.traffic for s in self.stages))
+        """Total bytes moved across all completed stages."""
+        return float(
+            sum(
+                s.plan.traffic
+                for s in self.stages
+                if s.status == "completed" and s.plan is not None
+            )
+        )
+
+    @property
+    def total_retries(self) -> int:
+        """Stage re-executions across the job (retries + replans)."""
+        return sum(max(s.attempts - 1, 0) for s in self.stages)
+
+    @property
+    def bytes_lost(self) -> float:
+        """Bytes lost to failed attempts across the whole job."""
+        return float(sum(s.bytes_lost for s in self.stages)) + float(
+            sum(r.bytes_lost for r in self.fabric_failures)
+        )
 
 
 class JobExecutor:
@@ -75,14 +142,45 @@ class JobExecutor:
         *,
         strategy: str = "ccf",
         simulate: bool = False,
+        dynamics: FabricDynamics | None = None,
+        stage_policy: StagePolicy | str | None = None,
+        noise: NoisyEstimates | float | None = None,
     ) -> JobResult:
-        """Plan every stage and measure the job's communication time."""
+        """Plan every stage and measure the job's communication time.
+
+        Parameters
+        ----------
+        dynamics, stage_policy:
+            Failure schedule and job-level fault-tolerance policy;
+            require ``simulate=True`` (failures only exist in simulated
+            time) and are threaded through the failure-aware
+            :class:`DAGExecutor`.
+        noise:
+            Plan-time estimate degradation (per-stage seeded); the
+            reported times always charge the true volumes.
+        """
+        if (dynamics is not None or stage_policy is not None) and not simulate:
+            raise ValueError(
+                "dynamics / stage_policy require simulate=True: failures "
+                "and recovery only exist on the simulated path"
+            )
+        if isinstance(noise, (int, float)):
+            noise = NoisyEstimates(sigma=float(noise))
+        if noise is not None and noise.is_null:
+            noise = None
+
         result = JobResult(job_name=job.name, strategy=strategy)
-        plans: list[ExecutionPlan] = [
-            self.ccf.plan(stage.workload, strategy) for stage in job.stages
-        ]
         if not simulate:
-            for stage, plan in zip(job.stages, plans):
+            for index, stage in enumerate(job.stages):
+                if noise is None:
+                    plan = self.ccf.plan(stage.workload, strategy)
+                else:
+                    # Assignment computed on the degraded view, evaluated
+                    # (and reported) against the true model.
+                    model = self.ccf.model_for(stage.workload, strategy)
+                    plan_model = noise.reseeded(index).perturb_model(model)
+                    dest = self.ccf.assign(plan_model, strategy)
+                    plan = ExecutionPlan(model=model, dest=dest, strategy=strategy)
                 result.stages.append(
                     StageResult(
                         name=stage.name,
@@ -92,8 +190,20 @@ class JobExecutor:
                 )
             return result
 
+        if dynamics is not None or noise is not None:
+            return self._run_as_dag(
+                job,
+                strategy=strategy,
+                dynamics=dynamics,
+                stage_policy=stage_policy,
+                noise=noise,
+            )
+
         # Simulated path: stages are sequential, so each stage's coflow runs
         # on an otherwise-idle fabric; the job time is the sum of the CCTs.
+        plans: list[ExecutionPlan] = [
+            self.ccf.plan(stage.workload, strategy) for stage in job.stages
+        ]
         n_ports = max(p.model.n for p in plans)
         rate = plans[0].model.rate
         fabric = Fabric(n_ports=n_ports, rate=rate)
@@ -104,6 +214,58 @@ class JobExecutor:
             result.stages.append(
                 StageResult(
                     name=stage.name, plan=plan, communication_seconds=res.max_cct
+                )
+            )
+        return result
+
+    def _run_as_dag(
+        self,
+        job: AnalyticalJob,
+        *,
+        strategy: str,
+        dynamics: FabricDynamics | None,
+        stage_policy: StagePolicy | str | None,
+        noise: NoisyEstimates | None,
+    ) -> JobResult:
+        """Execute the sequential job as a linear DAG (failure-aware)."""
+        dag = JobDAG(job.name)
+        names: list[str] = []
+        prev: str | None = None
+        for index, stage in enumerate(job.stages):
+            name = stage.name or f"stage{index}"
+            if name in names:  # uniquify duplicates for the DAG keyspace
+                name = f"{name}#{index}"
+            dag.add(
+                name,
+                stage.workload,
+                parents=() if prev is None else (prev,),
+            )
+            names.append(name)
+            prev = name
+        executor = DAGExecutor(self.ccf, scheduler=self.scheduler_name)
+        dag_result = executor.run(
+            dag,
+            strategy=strategy,
+            dynamics=dynamics,
+            stage_policy=stage_policy,
+            noise=noise,
+        )
+        result = JobResult(job_name=job.name, strategy=strategy)
+        result.events = dag_result.events
+        result.fabric_failures = dag_result.fabric_failures
+        for name in names:
+            s = dag_result.stages[name]
+            result.stages.append(
+                StageResult(
+                    name=s.name,
+                    plan=s.plan,
+                    communication_seconds=(
+                        s.duration if s.status == "completed" else math.nan
+                    ),
+                    status=s.status,
+                    attempts=s.attempts,
+                    failures=s.failures,
+                    events=s.events,
                 )
             )
         return result

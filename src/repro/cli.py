@@ -143,6 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0,
         help="seed for the chaos failure schedule",
     )
+    simulate.add_argument(
+        "--stage-policy",
+        choices=["fail-job", "retry-stage", "replan-stage",
+                 "fail", "retry", "replan"],
+        default=None,
+        help="job-level fault tolerance: treat each coflow as a stage and "
+        "retry/replan failed attempts (needs a failure schedule; "
+        "mutually exclusive with the flow-level --recovery)",
+    )
+    simulate.add_argument(
+        "--estimate-noise", type=float, default=None, metavar="SIGMA",
+        help="degrade the scheduler's view of remaining flow sizes with "
+        "seeded lognormal noise of this sigma (true bytes still drain)",
+    )
+    simulate.add_argument(
+        "--censor", type=float, default=0.0, metavar="FRAC",
+        help="fraction of flows whose size the scheduler cannot see "
+        "(with --estimate-noise; default 0)",
+    )
+    simulate.add_argument(
+        "--noise-seed", type=int, default=0,
+        help="seed for the estimate-noise draws",
+    )
 
     report = sub.add_parser(
         "report", help="run a set of experiments and write a markdown report"
@@ -272,9 +295,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"invalid chaos configuration: {exc}", file=sys.stderr)
             return 2
-    if dynamics is not None and args.recovery is None:
-        print("failure injection needs --recovery {abort,retry,replan}",
-              file=sys.stderr)
+    noise = None
+    if args.estimate_noise is not None or args.censor:
+        from repro.core.noise import NoisyEstimates
+
+        try:
+            noise = NoisyEstimates(
+                sigma=args.estimate_noise or 0.0,
+                censor_fraction=args.censor,
+                seed=args.noise_seed,
+            )
+        except ValueError as exc:
+            print(f"invalid estimate noise: {exc}", file=sys.stderr)
+            return 2
+
+    if args.stage_policy is not None:
+        if args.recovery is not None:
+            print(
+                "--stage-policy (job-level recovery) and --recovery "
+                "(flow-level recovery) are mutually exclusive; pick one",
+                file=sys.stderr,
+            )
+            return 2
+        if dynamics is None or not dynamics.has_failures:
+            print(
+                "--stage-policy needs a failure schedule: add --fail-port "
+                "or --chaos-mtbf so there is something to recover from",
+                file=sys.stderr,
+            )
+            return 2
+        return _simulate_with_stage_policy(args, coflows, fabric, dynamics, noise)
+
+    if dynamics is not None and dynamics.has_failures and args.recovery is None:
+        print(
+            "failure injection needs --recovery {abort,retry,replan} "
+            "(flow-level) or --stage-policy (job-level)",
+            file=sys.stderr,
+        )
         return 2
 
     sim = CoflowSimulator(
@@ -282,6 +339,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         make_scheduler(args.scheduler),
         dynamics=dynamics,
         recovery=args.recovery,
+        estimate_noise=noise,
     )
     res = sim.run(coflows)
     print(f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s")
@@ -299,6 +357,74 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{s['bytes_lost']:.3g} bytes lost"
         )
     return 0 if not res.failed_coflows else 1
+
+
+def _simulate_with_stage_policy(args, coflows, fabric, dynamics, noise) -> int:
+    """Replay a coflow file with job-level (stage) fault tolerance.
+
+    Each coflow becomes an independent stage of a :class:`JobDAG` with a
+    fixed identity assignment that reproduces its flows exactly; the
+    failure-aware :class:`DAGExecutor` then retries / replans attempts
+    that fabric failures abort, per ``--stage-policy``.
+    """
+    import numpy as np
+
+    from repro.analytics.dag import DAGExecutor, JobDAG
+    from repro.core.model import ShuffleModel
+
+    n_ports = fabric.n_ports
+    dag = JobDAG(name="replay")
+    for i, cf in enumerate(coflows):
+        volumes = np.zeros((n_ports, n_ports))
+        for f in cf.flows:
+            volumes[f.src, f.dst] += f.volume
+        # h = the volume matrix with partitions=nodes and an identity
+        # assignment: partition k's bytes are exactly the traffic into
+        # node k, so the replayed shuffle equals the file's coflow (and a
+        # replan can move any stranded partition to a surviving node).
+        name = cf.name or f"cf{i}"
+        if name in dag.stage_names:
+            name = f"{name}#{i}"
+        dag.add(
+            name,
+            ShuffleModel(h=volumes, rate=args.rate, name=name),
+            dest=np.arange(n_ports),
+            min_start=cf.arrival_time,
+        )
+    executor = DAGExecutor(scheduler=args.scheduler, estimate_noise=noise)
+    res = executor.run(
+        dag,
+        strategy="replay",
+        dynamics=dynamics,
+        stage_policy=args.stage_policy,
+    )
+    print(
+        f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s "
+        f"stage-policy={args.stage_policy}"
+    )
+    for name in dag.stage_names:
+        s = res.stages[name]
+        if s.status == "completed":
+            print(
+                f"  stage {name}: completed at t={s.completion_time:.3f} s "
+                f"({s.attempts} attempt{'s' if s.attempts != 1 else ''})"
+            )
+        else:
+            print(f"  stage {name}: {s.status.upper()} ({s.attempts} attempts)")
+    for e in res.events:
+        print(
+            f"  [t={e.time:.3f}] {e.stage} attempt {e.attempt}: "
+            f"{e.action} {e.detail}"
+        )
+    summary = res.failure_summary()
+    print(
+        f"job {'completed' if res.completed else 'FAILED'}: "
+        f"makespan {res.makespan:.3f} s, "
+        f"{int(summary['stage_retries'])} retries "
+        f"({int(summary['stage_replans'])} replanned), "
+        f"{summary['bytes_lost']:.3g} bytes lost"
+    )
+    return 0 if res.completed else 1
 
 
 #: Experiments cheap enough for the default report.

@@ -19,8 +19,10 @@ from repro.core.incremental import IncrementalPlanner
 from repro.core.localsearch import RefinementResult, refine_assignment
 from repro.core.model import PlanMetrics, ShuffleModel
 from repro.core.multi import ConcurrentPlan, merge_models, plan_concurrent
+from repro.core.noise import NoisyEstimates
 from repro.core.online import OnlineCCF
 from repro.core.plan import ExecutionPlan
+from repro.core.replan import lineage_matrix, remap_chunks, replan_assignment
 from repro.core.predictor import PredictedCCTs, predict_ccts
 from repro.core.relax import LPRoundingResult, ccf_lp_rounding
 from repro.core.skew import PartialDuplication, SkewHandlingResult
@@ -38,6 +40,7 @@ __all__ = [
     "ExecutionPlan",
     "IncrementalPlanner",
     "LPRoundingResult",
+    "NoisyEstimates",
     "OnlineCCF",
     "PartialDuplication",
     "PlanComparison",
@@ -52,9 +55,12 @@ __all__ = [
     "ccf_lp_rounding",
     "evaluate_on_topology",
     "hash_assignment",
+    "lineage_matrix",
     "merge_models",
     "mini_assignment",
     "plan_concurrent",
+    "remap_chunks",
+    "replan_assignment",
     "PredictedCCTs",
     "predict_ccts",
     "RefinementResult",

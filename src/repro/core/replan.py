@@ -1,0 +1,152 @@
+"""Stage-level replanning: route an existing assignment around dead nodes.
+
+PR 1's flow-recovery layer rebuilds *individual* lost chunks mid-coflow.
+Real engines additionally recover at **stage** granularity: when a node
+dies, the stage's lost tasks are re-executed on survivors and downstream
+stages consume the data from its new location (lineage re-execution).
+This module provides the two primitives that layer needs:
+
+* :func:`replan_assignment` -- take a stage's committed assignment and a
+  liveness mask, keep every partition already placed on a surviving node
+  (those placements act as checkpoints), and re-run Algorithm 1's step
+  rule -- via :class:`~repro.core.incremental.IncrementalPlanner` with its
+  ``allowed`` destination mask -- for exactly the partitions stranded on
+  dead nodes, seeded with the surviving placement's port loads.
+* :func:`lineage_matrix` / :func:`remap_chunks` -- express the resulting
+  placement change as a row-stochastic node->node move matrix and push it
+  through descendant stages' chunk matrices, so children are planned
+  against where their inputs *actually* live after recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.incremental import IncrementalPlanner
+from repro.core.model import ShuffleModel
+
+__all__ = ["replan_assignment", "lineage_matrix", "remap_chunks"]
+
+
+def replan_assignment(
+    model: ShuffleModel,
+    dest: np.ndarray,
+    allowed: np.ndarray,
+    *,
+    locality_tiebreak: bool = True,
+) -> np.ndarray:
+    """Reassign the partitions of ``dest`` placed on disallowed nodes.
+
+    Partitions already destined to an allowed node keep their placement;
+    the rest are fed -- largest chunk first, Algorithm 1's processing
+    order -- through an :class:`IncrementalPlanner` restricted to the
+    allowed nodes and seeded with the port loads the kept placement
+    already commits, so reassignments spread across survivors exactly as
+    the paper's greedy spreads partitions.
+
+    Parameters
+    ----------
+    model:
+        The stage's (true) shuffle model.
+    dest:
+        Current assignment vector, shape ``(p,)``.
+    allowed:
+        Boolean liveness mask over nodes; at least one must be True.
+
+    Returns
+    -------
+    A new assignment with every partition on an allowed node.  When no
+    partition is stranded the input assignment is returned unchanged.
+    """
+    dest = model.validate_assignment(dest)
+    allowed = np.asarray(allowed, dtype=bool)
+    if allowed.shape != (model.n,):
+        raise ValueError(f"allowed mask must have shape ({model.n},)")
+    if not allowed.any():
+        raise ValueError("replan needs at least one surviving node")
+
+    stranded = ~allowed[dest]
+    if not stranded.any():
+        return dest
+
+    new_dest = dest.copy()
+    kept = np.flatnonzero(~stranded)
+    send0, recv0 = model.initial_loads()
+    send = send0.copy()
+    recv = recv0.copy()
+    if kept.size:
+        h_kept = model.h[:, kept]
+        kept_dest = dest[kept]
+        # Loads the surviving placement commits: node i sends its resident
+        # bytes of every kept partition not assigned to i; dest receives
+        # the rest of the partition.
+        sizes = h_kept.sum(axis=0)
+        recv += np.bincount(
+            kept_dest,
+            weights=sizes - h_kept[kept_dest, np.arange(kept.size)],
+            minlength=model.n,
+        )
+        send += h_kept.sum(axis=1)
+        np.subtract.at(
+            send, kept_dest, h_kept[kept_dest, np.arange(kept.size)]
+        )
+
+    planner = IncrementalPlanner(
+        n_nodes=model.n,
+        initial_send=send,
+        initial_recv=recv,
+        locality_tiebreak=locality_tiebreak,
+        allowed=allowed,
+    )
+    lost = np.flatnonzero(stranded)
+    order = lost[np.argsort(-model.h[:, lost].max(axis=0), kind="stable")]
+    for k in order:
+        new_dest[k] = planner.assign(model.h[:, k])
+    return new_dest
+
+
+def lineage_matrix(
+    model: ShuffleModel, old_dest: np.ndarray, new_dest: np.ndarray
+) -> np.ndarray:
+    """Row-stochastic node->node matrix describing a placement change.
+
+    ``M[d, j]`` is the fraction of the stage-output bytes formerly placed
+    on node ``d`` that the replanned assignment places on node ``j``
+    (weighted by partition size).  Nodes whose placement is unchanged --
+    or that received no bytes to begin with -- keep an identity row, so
+    ``M`` composes under matrix multiplication across successive replans
+    and conserves bytes exactly (every row sums to 1).
+    """
+    old_dest = model.validate_assignment(old_dest)
+    new_dest = model.validate_assignment(new_dest)
+    n = model.n
+    m = np.eye(n)
+    moved = old_dest != new_dest
+    if not moved.any():
+        return m
+    sizes = model.partition_sizes
+    for d in np.unique(old_dest[moved]):
+        mask = old_dest == d  # every partition formerly destined to d
+        total = float(sizes[mask].sum())
+        if total <= 0:
+            continue
+        row = np.bincount(new_dest[mask], weights=sizes[mask], minlength=n)
+        m[d] = row / total
+    return m
+
+
+def remap_chunks(h: np.ndarray, move: np.ndarray) -> np.ndarray:
+    """Apply a lineage move matrix to a descendant's chunk matrix.
+
+    Bytes resident on node ``i`` follow the fraction ``move[i, j]`` to
+    node ``j``: ``h'[j, k] = sum_i move[i, j] * h[i, k]``.  Because every
+    row of ``move`` sums to 1, the per-partition volumes (and therefore
+    the total) are conserved exactly.
+    """
+    h = np.asarray(h, dtype=float)
+    move = np.asarray(move, dtype=float)
+    if move.shape != (h.shape[0], h.shape[0]):
+        raise ValueError(
+            f"move matrix must have shape ({h.shape[0]}, {h.shape[0]})"
+        )
+    return move.T @ h

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments.ablation import run_heuristic_ablation, run_scheduler_ablation
 from repro.experiments.crossover import run_broadcast_crossover
+from repro.experiments.dagrecovery import run_dag_recovery
 from repro.experiments.extensions import (
     run_online_vs_oblivious,
     run_topology_sweep,
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
     "queries": run_query_suite,
     "robustness": run_robustness,
     "recovery": run_failure_recovery,
+    "dag-recovery": run_dag_recovery,
     "validation": run_model_validation,
     "crossover": run_broadcast_crossover,
     "psweep": run_partition_sweep,

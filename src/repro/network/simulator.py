@@ -22,9 +22,12 @@ recorded in the structured failure log on :class:`SimulationResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> network)
+    from repro.core.noise import NoisyEstimates
 
 from repro.network.dynamics import FabricDynamics
 from repro.network.events import CoflowProgress, SchedulingContext
@@ -43,6 +46,11 @@ __all__ = ["CoflowSimulator", "SimulationResult", "Epoch"]
 
 #: Remaining volume below which a flow is considered finished (bytes).
 _VOLUME_EPS = 1e-6
+
+#: Floor on the scheduler-reported remaining volume under estimate noise:
+#: censored flows report "size unknown" as this near-zero value, and a
+#: strictly positive view keeps every discipline's allocation well-defined.
+_ESTIMATE_FLOOR = 1e-6
 
 
 @dataclass
@@ -151,6 +159,14 @@ class CoflowSimulator:
         Recovery policy (or registry name ``"abort"`` / ``"retry"`` /
         ``"replan"``) applied to flows stranded by port failures.
         Required whenever ``dynamics`` contains failure events.
+    estimate_noise:
+        Optional :class:`repro.core.noise.NoisyEstimates` degrading the
+        *scheduler's view* of remaining flow volumes (seeded per-flow
+        multiplicative noise; censored flows report a near-zero size).
+        The fluid drain always charges the true bytes, so this measures
+        how much schedule quality a discipline loses to inaccurate flow
+        information -- non-clairvoyant disciplines (D-CLAS) are immune by
+        construction.
 
     Examples
     --------
@@ -173,12 +189,18 @@ class CoflowSimulator:
         max_epochs: int = 10_000_000,
         dynamics: "FabricDynamics | None" = None,
         recovery: "RecoveryPolicy | str | None" = None,
+        estimate_noise: "NoisyEstimates | None" = None,
     ) -> None:
         self.fabric = fabric
         self.scheduler = scheduler
         self.record_timeline = record_timeline
         self.max_epochs = max_epochs
         self.dynamics = dynamics
+        self.estimate_noise = (
+            None
+            if estimate_noise is None or estimate_noise.is_null
+            else estimate_noise
+        )
         if isinstance(recovery, str):
             recovery = make_recovery_policy(recovery)
         self.recovery = recovery
@@ -196,6 +218,7 @@ class CoflowSimulator:
         coflows: Sequence[Coflow] | Iterable[Coflow],
         *,
         injector: "Callable[[int, float], list[Coflow]] | None" = None,
+        on_abort: "Callable[[int, float], list[Coflow]] | None" = None,
     ) -> SimulationResult:
         """Simulate the given coflows to completion and return the result.
 
@@ -209,6 +232,14 @@ class CoflowSimulator:
             join the simulation (their ``arrival_time`` must be >= the
             completion time, and their ids must be fresh).  This is how
             DAG-structured jobs release downstream shuffles.
+        on_abort:
+            Optional callback ``on_abort(aborted_coflow_id, time)``
+            invoked whenever the recovery policy aborts a coflow (or a
+            suspended coflow becomes unrecoverable); any coflows it
+            returns join the simulation under the same rules as
+            ``injector``.  This is how the job-level fault-tolerance
+            layer resubmits a failed stage (retried or replanned) as a
+            fresh attempt.
         """
         coflows = list(coflows)
         if not coflows:
@@ -257,12 +288,9 @@ class CoflowSimulator:
         total_bytes = float(sum(c.total_volume for c in coflows))
         known_ids = {c.coflow_id for c in coflows}
 
-        def inject_after(cid: int, now: float) -> None:
-            """Admit the injector's new coflows for a completed one."""
+        def admit(new: list[Coflow], now: float) -> None:
+            """Validate and admit callback-provided coflows mid-run."""
             nonlocal total_bytes
-            if injector is None:
-                return
-            new = injector(cid, now)
             if not new:
                 return
             for c in new:
@@ -295,7 +323,40 @@ class CoflowSimulator:
                 pending.append(c)
             pending.sort(key=lambda c: (c.arrival_time, c.coflow_id))
 
+        def inject_after(cid: int, now: float) -> None:
+            """Admit the injector's new coflows for a completed one."""
+            if injector is not None:
+                admit(injector(cid, now), now)
+
+        def resubmit_after(aborted: list[int], now: float) -> None:
+            """Hand aborted coflows to ``on_abort`` and admit replacements."""
+            if on_abort is None:
+                return
+            for cid in aborted:
+                admit(on_abort(cid, now), now)
+
         fl = ActiveFlows.empty()
+
+        noise = self.estimate_noise
+        noise_factors: dict[tuple[int, int, int], float] = {}
+
+        def scheduler_view(flows: ActiveFlows) -> np.ndarray:
+            """Remaining volumes as the discipline sees them (maybe noisy)."""
+            if noise is None:
+                return flows.remaining
+            out = np.empty(flows.size)
+            for i in range(flows.size):
+                key = (
+                    int(flows.cids[i]),
+                    int(flows.srcs[i]),
+                    int(flows.dsts[i]),
+                )
+                factor = noise_factors.get(key)
+                if factor is None:
+                    factor = noise.flow_factor(*key)
+                    noise_factors[key] = factor
+                out[i] = flows.remaining[i] * factor
+            return np.maximum(out, _ESTIMATE_FLOOR)
 
         t = 0.0
         epochs: list[Epoch] = []
@@ -334,6 +395,7 @@ class CoflowSimulator:
                 changed or recovery.any_dead(fabric) or recovery.has_suspended
             ):
                 aborted, local = recovery.step(fabric, t, fl, progress)
+                resubmit_after(aborted, t)
                 for cid in local:
                     # Replan kept the chunk on its source: if that was the
                     # coflow's last outstanding flow, the coflow is done.
@@ -362,7 +424,10 @@ class CoflowSimulator:
                     continue
                 if recovery is not None and recovery.has_suspended:
                     # Parked flows with no recovery event ever coming.
-                    recovery.abort_unrecoverable(t)
+                    aborted = recovery.abort_unrecoverable(t)
+                    resubmit_after(aborted, t)
+                    if pending:
+                        continue
                 break
 
             ctx = SchedulingContext(
@@ -370,7 +435,7 @@ class CoflowSimulator:
                 fabric=fabric,
                 srcs=fl.srcs,
                 dsts=fl.dsts,
-                remaining=fl.remaining,
+                remaining=scheduler_view(fl),
                 coflow_ids=fl.cids,
                 progress=progress,
             )

@@ -99,6 +99,7 @@ class TestRegistry:
             "queries",
             "robustness",
             "recovery",
+            "dag-recovery",
             "validation",
             "crossover",
             "psweep",

@@ -111,3 +111,67 @@ class TestSimulateFailureInjection:
              "--recovery", "retry"]
         ) == 2
         assert "invalid chaos configuration" in capsys.readouterr().err
+
+
+class TestSimulateStagePolicy:
+    @pytest.fixture()
+    def plan_file(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        assert main(
+            ["plan", "--nodes", "6", "--scale-factor", "0.2", "--out", path]
+        ) == 0
+        return path
+
+    def test_replan_completes(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--fail-at", "0.05",
+             "--fail-direction", "ingress", "--stage-policy", "replan"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "job completed" in out and "replanned" in out
+
+    def test_fail_job_reports_failed_job(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--fail-at", "0.05",
+             "--fail-direction", "ingress", "--stage-policy", "fail-job"]
+        ) == 1
+        assert "job FAILED" in capsys.readouterr().out
+
+    def test_policy_without_failures_is_a_clean_error(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--stage-policy", "replan"]
+        ) == 2
+        assert "failure schedule" in capsys.readouterr().err
+
+    def test_policy_and_recovery_exclusive(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0",
+             "--stage-policy", "replan", "--recovery", "retry"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_failures_need_some_recovery_mode(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--recovery" in err and "--stage-policy" in err
+
+    def test_bad_noise_is_a_clean_error(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--estimate-noise", "-1"]
+        ) == 2
+        assert "invalid estimate noise" in capsys.readouterr().err
+
+    def test_bad_censor_is_a_clean_error(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--censor", "1.5"]
+        ) == 2
+        assert "invalid estimate noise" in capsys.readouterr().err
+
+    def test_scheduler_view_noise_runs(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--estimate-noise", "0.8",
+             "--censor", "0.2", "--noise-seed", "4"]
+        ) == 0
+        assert "average CCT" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on the stage-recovery primitives.
+
+These pin the conservation laws the job-level fault-tolerance layer
+leans on: :func:`replan_assignment` keeps surviving placements and puts
+every stranded partition's volume on exactly one surviving node;
+:func:`lineage_matrix` is row-stochastic so byte mass is conserved when
+:func:`remap_chunks` pushes it through descendant chunk matrices; and a
+full DAG run under ``replan-stage`` delivers every byte despite a
+mid-run ingress loss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analytics.dag import DAGExecutor, JobDAG
+from repro.core.model import ShuffleModel
+from repro.core.noise import NoisyEstimates
+from repro.core.replan import lineage_matrix, remap_chunks, replan_assignment
+from repro.network.dynamics import FabricDynamics
+from repro.network.fabric import Fabric
+
+
+@st.composite
+def replan_cases(draw, max_n=5, max_p=8):
+    """A model, an assignment, and a liveness mask with >=1 survivor."""
+    n = draw(st.integers(2, max_n))
+    p = draw(st.integers(1, max_p))
+    h = draw(
+        arrays(dtype=np.int64, shape=(n, p), elements=st.integers(0, 50))
+    ).astype(float)
+    dest = draw(
+        arrays(dtype=np.int64, shape=(p,), elements=st.integers(0, n - 1))
+    )
+    allowed = draw(
+        arrays(dtype=np.bool_, shape=(n,), elements=st.booleans()).filter(
+            lambda a: a.any()
+        )
+    )
+    return ShuffleModel(h=h, rate=1.0), dest, allowed
+
+
+class TestReplanAssignment:
+    @given(replan_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_all_partitions_land_on_survivors(self, case):
+        model, dest, allowed = case
+        new_dest = replan_assignment(model, dest, allowed)
+        assert allowed[new_dest].all()
+
+    @given(replan_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_surviving_placements_are_checkpoints(self, case):
+        # A partition already on a live node must not move: its bytes are
+        # committed (checkpoint semantics), only stranded ones re-plan.
+        model, dest, allowed = case
+        new_dest = replan_assignment(model, dest, allowed)
+        kept = allowed[dest]
+        np.testing.assert_array_equal(new_dest[kept], dest[kept])
+
+    @given(replan_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_stranded_volume_reappears_exactly_once(self, case):
+        # Byte conservation: each stranded chunk's full volume lands on
+        # exactly one surviving destination; dead nodes end with zero
+        # destined mass and the total is unchanged.
+        model, dest, allowed = case
+        new_dest = replan_assignment(model, dest, allowed)
+        sizes = model.partition_sizes
+        mass = np.bincount(new_dest, weights=sizes, minlength=model.n)
+        assert mass[~allowed].sum() == pytest.approx(0.0)
+        assert mass.sum() == pytest.approx(sizes.sum())
+        stranded = ~allowed[dest]
+        for k in np.flatnonzero(stranded):
+            assert allowed[new_dest[k]]
+
+    @given(replan_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_noop_when_nothing_stranded(self, case):
+        model, dest, allowed = case
+        live = dest.copy()
+        survivors = np.flatnonzero(allowed)
+        live = survivors[live % survivors.size]  # force all-live placement
+        np.testing.assert_array_equal(
+            replan_assignment(model, live, allowed), live
+        )
+
+    @given(replan_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_all_dead_rejected(self, case):
+        model, dest, _ = case
+        with pytest.raises(ValueError, match="surviving"):
+            replan_assignment(model, dest, np.zeros(model.n, dtype=bool))
+
+
+class TestLineage:
+    @given(replan_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_lineage_matrix_is_row_stochastic(self, case):
+        model, dest, allowed = case
+        new_dest = replan_assignment(model, dest, allowed)
+        m = lineage_matrix(model, dest, new_dest)
+        np.testing.assert_allclose(m.sum(axis=1), np.ones(model.n))
+        assert (m >= 0).all()
+
+    @given(replan_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_remap_conserves_per_partition_volume(self, case):
+        # Pushing a descendant's chunk matrix through the move matrix
+        # relocates bytes but never creates or destroys them.
+        model, dest, allowed = case
+        new_dest = replan_assignment(model, dest, allowed)
+        m = lineage_matrix(model, dest, new_dest)
+        remapped = remap_chunks(model.h, m)
+        np.testing.assert_allclose(
+            remapped.sum(axis=0), model.h.sum(axis=0), atol=1e-9
+        )
+        assert (remapped >= -1e-12).all()
+
+    @given(replan_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_identity_when_unmoved(self, case):
+        model, dest, _ = case
+        np.testing.assert_array_equal(
+            lineage_matrix(model, dest, dest), np.eye(model.n)
+        )
+
+
+class TestNoiseProperties:
+    @given(
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 1.0),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perturbation_is_seed_deterministic(self, sigma, censor, seed):
+        noise = NoisyEstimates(sigma=sigma, censor_fraction=censor, seed=seed)
+        rng = np.random.default_rng(seed)
+        model = ShuffleModel(h=rng.uniform(0, 10, (4, 6)), rate=1.0)
+        a = noise.perturb_model(model)
+        b = noise.perturb_model(model)
+        np.testing.assert_array_equal(a.h, b.h)
+        # Commitments pass through untouched.
+        np.testing.assert_array_equal(a.v0, model.v0)
+        assert a.rate == model.rate
+
+    @given(st.integers(0, 10_000), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_reseeded_stable_per_salt(self, seed, salt):
+        noise = NoisyEstimates(sigma=0.5, seed=seed)
+        assert noise.reseeded(salt) == noise.reseeded(salt)
+        if salt != seed:
+            # Different salts give independent draws (overwhelmingly).
+            assert noise.reseeded(salt).seed != noise.reseeded(salt + 1).seed
+
+
+class TestReplanRecoveryConservation:
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_dag_replan_delivers_every_byte(self, seed):
+        # End-to-end conservation: a two-stage chain loses node 3's
+        # ingress mid-run; under replan-stage the job must still complete
+        # with every stage's full planned volume delivered and the final
+        # placements all on nodes that could receive.
+        rng = np.random.default_rng(seed)
+        n = 4
+        h1 = rng.integers(1, 20, size=(n, 6)).astype(float)
+        h2 = rng.integers(1, 20, size=(n, 6)).astype(float)
+        dag = (
+            JobDAG("chain")
+            .add("up", ShuffleModel(h=h1, rate=1.0))
+            .add("down", ShuffleModel(h=h2, rate=1.0), parents=("up",))
+        )
+        fabric = Fabric(n_ports=n, rate=1.0)
+        dyn = FabricDynamics.fail(
+            time=0.5, ports=[3], fabric=fabric, direction="ingress"
+        )
+        result = DAGExecutor().run(
+            dag, dynamics=dyn, stage_policy="replan-stage"
+        )
+        assert result.completed
+        for s in result.stages.values():
+            assert s.status == "completed"
+            # The final plan moves the stage's full volume (conservation:
+            # aborted-attempt bytes were re-sent, not silently dropped).
+            mass = np.bincount(
+                s.plan.dest,
+                weights=s.plan.model.partition_sizes,
+                minlength=n,
+            )
+            assert mass.sum() == pytest.approx(s.plan.model.h.sum())
+            # Nothing may terminate on the dead ingress after its failure.
+            if s.attempts > 1:
+                assert mass[3] == pytest.approx(0.0)
