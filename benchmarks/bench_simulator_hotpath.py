@@ -1,0 +1,69 @@
+"""Bench: simulator hot path -- vectorized epoch loop vs reference.
+
+Times the incremental (default) epoch loop against the original
+per-flow/per-mask reference path on a small coflow mix and re-asserts
+the bit-identity contract on every run.  The full matrix (canonical
+50-port x 200-coflow mix, four schedulers x four scenarios, component
+microbenchmarks) is produced by ``ccf bench``, which writes the
+committed ``BENCH_simulator.json``; this bench keeps the contract under
+``pytest benchmarks/`` and gives pytest-benchmark timings for the two
+paths side by side.
+
+Environment knob: ``CCF_BENCH_HOTPATH_SCHED`` (default ``sebf``) picks
+the scheduler under test.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.hotpath import (
+    QUICK_MIX,
+    CaseSpec,
+    _build,
+    _fingerprint,
+    run_micro,
+)
+
+SCHED = os.environ.get("CCF_BENCH_HOTPATH_SCHED", "sebf")
+
+
+def _spec(scenario: str) -> CaseSpec:
+    return CaseSpec(SCHED, scenario, **QUICK_MIX)
+
+
+def _run(scenario: str, incremental: bool):
+    sim, coflows, kwargs = _build(_spec(scenario), incremental=incremental)
+    return sim.run(coflows, **kwargs)
+
+
+@pytest.mark.parametrize("scenario", ["plain", "noise"])
+def test_bench_hotpath_incremental(benchmark, scenario):
+    result = benchmark.pedantic(
+        _run, args=(scenario, True), iterations=1, rounds=3
+    )
+    assert result.n_epochs > 0
+    assert not result.failed_coflows
+
+
+@pytest.mark.parametrize("scenario", ["plain", "noise"])
+def test_bench_hotpath_reference(benchmark, scenario):
+    result = benchmark.pedantic(
+        _run, args=(scenario, False), iterations=1, rounds=3
+    )
+    assert result.n_epochs > 0
+
+
+@pytest.mark.parametrize("scenario", ["plain", "chaos", "noise", "on_abort"])
+def test_hotpath_bit_identity(scenario):
+    """Both paths must agree on every float of the result."""
+    ref = _fingerprint(_run(scenario, False))
+    inc = _fingerprint(_run(scenario, True))
+    assert ref == inc
+
+
+def test_micro_components_report():
+    """Component microbenches run and the vectorized side never loses."""
+    micro = run_micro()
+    for name, row in micro.items():
+        assert row["speedup"] >= 1.0, (name, row)

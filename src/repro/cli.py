@@ -206,6 +206,33 @@ def build_parser() -> argparse.ArgumentParser:
     trace_gen.add_argument("--arrival-rate", type=float, default=2.0)
     trace_gen.add_argument("--seed", type=int, default=0)
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator hot path (reference vs incremental)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small-mix smoke subset (CI); keys are a subset of the full run",
+    )
+    bench.add_argument(
+        "--out", type=str, default="BENCH_simulator.json",
+        help="where to write the JSON payload ('-' for stdout only)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per case (best wall time wins)",
+    )
+    bench.add_argument(
+        "--check", metavar="BASELINE", type=str, default=None,
+        help="compare epochs/sec against a committed BENCH_simulator.json "
+        "and exit non-zero on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.3,
+        help="allowed fractional epochs/sec drop vs the baseline "
+        "(default 0.3)",
+    )
+
     gantt_cmd = sub.add_parser(
         "gantt",
         help="simulate a coflow file and render an ASCII Gantt chart",
@@ -505,6 +532,56 @@ def _cmd_trace_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the simulator hot path and emit BENCH_simulator.json."""
+    import json
+
+    from repro.experiments.hotpath import (
+        check_regression,
+        load_baseline,
+        run_bench,
+    )
+
+    payload = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    text = json.dumps(payload, indent=1)
+    # With ``--out -`` stdout IS the JSON document; human-facing chatter
+    # must go to stderr or the stream stops parsing.
+    chat = sys.stderr if args.out == "-" else sys.stdout
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=chat)
+    s = payload["summary"]
+    ident = "yes" if s["all_bit_identical"] else "NO -- INVESTIGATE"
+    print(
+        f"{s['n_cases']} cases; epoch-throughput speedup "
+        f"{s['min_speedup']:.2f}x..{s['max_speedup']:.2f}x "
+        f"(geomean {s['geomean_speedup']:.2f}x); bit-identical: {ident}",
+        file=chat,
+    )
+    if not s["all_bit_identical"]:
+        return 1
+    if args.check:
+        problems = check_regression(
+            payload, load_baseline(args.check), tolerance=args.tolerance
+        )
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.check} (tolerance {args.tolerance})",
+            file=chat,
+        )
+    return 0
+
+
 def _cmd_gantt(args: argparse.Namespace) -> int:
     """Simulate a coflow JSON file and print the Gantt chart."""
     from repro.network.fabric import Fabric
@@ -552,6 +629,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "trace-gen":
         return _cmd_trace_gen(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.command == "gantt":
         return _cmd_gantt(args)

@@ -1,0 +1,481 @@
+"""Hot-path benchmark harness for the coflow simulator (``ccf bench``).
+
+Times the simulator's vectorized epoch loop (``incremental=True``, the
+default) against the original per-flow/per-mask reference path
+(``incremental=False``) on the canonical 50-port x 200-coflow mix, and
+verifies on every run that the two produce **bit-identical**
+``SimulationResult``s -- same CCT floats, same epoch counts, same failure
+logs -- across the tier-1 scenarios (plain, chaos, noise, on_abort).
+
+The emitted ``BENCH_simulator.json`` has four sections:
+
+``cases``
+    End-to-end epoch throughput (epochs/sec) per scheduler x scenario,
+    reference vs incremental, with the bit-identity verdict.
+``scaling``
+    Wall time against problem size (n_coflows, and the resulting
+    n_flows) for one scheduler, showing how the two paths scale.
+``micro``
+    Component microbenchmarks of the three rewritten hot spots --
+    noise-view construction, per-coflow aggregation, and the admission
+    queue -- timed in isolation.  These are where the epoch loop spent
+    its redundant work; the end-to-end ratio is smaller because the
+    bit-identity constraint pins the waterfill's sequential arithmetic,
+    which both paths must execute step for step.
+``summary``
+    Aggregates used by the CI regression gate.
+
+The harness is deliberately deterministic (fixed workload seeds, fixed
+chaos schedule, fixed noise seed) so that two runs on the same machine
+differ only by timer noise; ``check_regression`` compares epochs/sec
+against a committed baseline with a configurable tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.noise import NoisyEstimates
+from repro.network import CoflowSimulator, Fabric
+from repro.network.dynamics import FabricDynamics, RateEvent
+from repro.network.events import FlowGroups
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
+
+__all__ = [
+    "CaseSpec",
+    "default_cases",
+    "run_case",
+    "run_micro",
+    "run_bench",
+    "check_regression",
+]
+
+SCENARIOS = ("plain", "chaos", "noise", "on_abort")
+
+#: Canonical benchmark mix (the ISSUE's 50-node x 200-coflow target).
+FULL_MIX = dict(n_ports=50, n_coflows=200, arrival_rate=40.0, seed=1)
+
+#: Small mix used by ``--quick`` (CI smoke) -- its case keys are a
+#: subset of the full baseline's, so quick runs can be checked against
+#: the committed full JSON.
+QUICK_MIX = dict(n_ports=20, n_coflows=60, arrival_rate=8.0, seed=3)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One benchmark case: a scheduler on a scenario on a mix."""
+
+    scheduler: str
+    scenario: str
+    n_ports: int
+    n_coflows: int
+    arrival_rate: float
+    seed: int
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{self.scheduler}/{self.scenario}/"
+            f"p{self.n_ports}c{self.n_coflows}"
+            f"a{self.arrival_rate:g}s{self.seed}"
+        )
+
+
+def default_cases(*, quick: bool = False) -> list[CaseSpec]:
+    """The benchmark matrix.
+
+    Quick mode runs the small mix only (two schedulers, two scenarios);
+    the full run covers four schedulers x four scenarios on the
+    canonical mix *plus* every quick case, so the quick keys always
+    exist in a full baseline.
+    """
+    quick_cases = [
+        CaseSpec(s, sc, **QUICK_MIX)
+        for s in ("sebf", "fair")
+        for sc in ("plain", "noise")
+    ]
+    if quick:
+        return quick_cases
+    full_cases = [
+        CaseSpec(s, sc, **FULL_MIX)
+        for s in ("sebf", "dclas", "fair", "wss")
+        for sc in SCENARIOS
+    ]
+    return quick_cases + full_cases
+
+
+def _mix(spec: CaseSpec) -> list[Coflow]:
+    cfg = CoflowMixConfig(
+        n_ports=spec.n_ports,
+        n_coflows=spec.n_coflows,
+        arrival_rate=spec.arrival_rate,
+        seed=spec.seed,
+    )
+    return generate_coflow_mix(cfg)
+
+
+def _chaos() -> FabricDynamics:
+    """Fixed failure/recovery schedule (ports exist in every mix used)."""
+    return FabricDynamics(
+        [
+            RateEvent.failure(2.0e7, 3),
+            RateEvent.recovery(5.0e7, 3, egress=1.0, ingress=1.0),
+            RateEvent.failure(8.0e7, 11),
+            RateEvent.recovery(1.1e8, 11, egress=1.0, ingress=1.0),
+            RateEvent.failure(1.4e8, 7),
+            RateEvent.recovery(1.7e8, 7, egress=1.0, ingress=1.0),
+        ]
+    )
+
+
+def _retry_factory(base: int) -> Callable[[int, float], list[Coflow]]:
+    """Deterministic ``on_abort`` callback: resubmit at half volume."""
+    originals: dict[int, Coflow] = {}
+
+    def remember(coflows: Sequence[Coflow]) -> None:
+        for c in coflows:
+            originals[c.coflow_id] = c
+
+    def resubmit(cid: int, now: float) -> list[Coflow]:
+        orig = originals.get(cid)
+        if orig is None or cid >= base:  # don't retry a retry
+            return []
+        clone = Coflow(
+            flows=[
+                Flow(f.src, f.dst, f.volume * 0.5) for f in orig.flows
+            ],
+            arrival_time=now,
+            coflow_id=base + cid,
+            name=f"retry-{cid}",
+        )
+        originals[clone.coflow_id] = clone
+        return [clone]
+
+    resubmit.remember = remember  # type: ignore[attr-defined]
+    return resubmit
+
+
+def _build(spec: CaseSpec, *, incremental: bool):
+    """Simulator + run kwargs for one case (fresh state every call)."""
+    coflows = _mix(spec)
+    kwargs: dict = {}
+    sim_kwargs: dict = {"incremental": incremental}
+    if spec.scenario == "chaos":
+        sim_kwargs["dynamics"] = _chaos()
+        sim_kwargs["recovery"] = "retry"
+    elif spec.scenario == "noise":
+        sim_kwargs["estimate_noise"] = NoisyEstimates(
+            sigma=0.3, censor_fraction=0.1, seed=7
+        )
+    elif spec.scenario == "on_abort":
+        sim_kwargs["dynamics"] = _chaos()
+        sim_kwargs["recovery"] = "abort"
+        cb = _retry_factory(base=1_000_000)
+        cb.remember(coflows)  # type: ignore[attr-defined]
+        kwargs["on_abort"] = cb
+    fabric = Fabric(n_ports=spec.n_ports, rate=1.0)
+    sim = CoflowSimulator(
+        fabric, make_scheduler(spec.scheduler), **sim_kwargs
+    )
+    return sim, coflows, kwargs
+
+
+def _fingerprint(result) -> dict:
+    """Everything that must match bit-for-bit between the two paths."""
+    return {
+        "ccts": dict(sorted(result.ccts.items())),
+        "completion_times": dict(sorted(result.completion_times.items())),
+        "n_epochs": result.n_epochs,
+        "failed_coflows": sorted(result.failed_coflows),
+        "failures": [
+            (r.kind, r.time, r.flows) for r in result.failures
+        ],
+    }
+
+
+def run_case(spec: CaseSpec, *, repeats: int = 1) -> dict:
+    """Time both paths on one case; best-of-``repeats`` wall time."""
+    out: dict = {
+        "scheduler": spec.scheduler,
+        "scenario": spec.scenario,
+        "n_ports": spec.n_ports,
+        "n_coflows": spec.n_coflows,
+        "arrival_rate": spec.arrival_rate,
+        "seed": spec.seed,
+    }
+    prints: dict[str, dict] = {}
+    for label, incremental in (("ref", False), ("inc", True)):
+        best = math.inf
+        result = None
+        for _ in range(max(1, repeats)):
+            sim, coflows, kwargs = _build(spec, incremental=incremental)
+            t0 = time.perf_counter()
+            result = sim.run(coflows, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        prints[label] = _fingerprint(result)
+        out[label] = {
+            "wall_s": round(best, 4),
+            "epochs_per_sec": round(result.n_epochs / best, 2),
+        }
+    out["n_flows"] = int(
+        sum(len(c.flows) for c in _mix(spec))
+    )
+    out["n_epochs"] = prints["inc"]["n_epochs"]
+    out["bit_identical"] = prints["ref"] == prints["inc"]
+    out["speedup"] = round(
+        out["ref"]["wall_s"] / out["inc"]["wall_s"], 3
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Component microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def _micro_noise_view(n_flows: int = 2000, loops: int = 200) -> dict:
+    """Noise-view build: per-flow memoized loop vs factor-column multiply."""
+    rng = np.random.default_rng(0)
+    cids = rng.integers(0, 200, size=n_flows)
+    srcs = rng.integers(0, 50, size=n_flows)
+    dsts = rng.integers(0, 50, size=n_flows)
+    remaining = rng.uniform(1e6, 1e8, size=n_flows)
+    noise = NoisyEstimates(sigma=0.3, censor_fraction=0.1, seed=7)
+    memo = {
+        (int(c), int(s), int(d)): noise.flow_factor(int(c), int(s), int(d))
+        for c, s, d in zip(cids, srcs, dsts)
+    }
+    keys = list(zip(cids.tolist(), srcs.tolist(), dsts.tolist()))
+
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        np.array([memo[k] for k in keys]) * remaining
+    ref = (time.perf_counter() - t0) / loops
+
+    column = np.array([memo[k] for k in keys])
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        remaining * column
+    inc = (time.perf_counter() - t0) / loops
+    return {
+        "what": "scheduler_view noise factors, per epoch "
+        f"({n_flows} flows)",
+        "ref_us": round(ref * 1e6, 2),
+        "inc_us": round(inc * 1e6, 2),
+        "speedup": round(ref / inc, 1),
+    }
+
+
+def _micro_aggregates(
+    n_flows: int = 2000, n_coflows: int = 200, loops: int = 200
+) -> dict:
+    """Per-coflow volume sums: boolean-mask scans vs FlowGroups."""
+    rng = np.random.default_rng(0)
+    cids = np.sort(rng.integers(0, n_coflows, size=n_flows))
+    remaining = rng.uniform(1e6, 1e8, size=n_flows)
+    unique = np.unique(cids)
+
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        [float(remaining[cids == c].sum()) for c in unique]
+    ref = (time.perf_counter() - t0) / loops
+
+    groups = FlowGroups(cids)
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        groups.value_sums(remaining)
+    inc = (time.perf_counter() - t0) / loops
+    return {
+        "what": "per-coflow remaining-volume sums, per epoch "
+        f"({n_coflows} coflows x {n_flows} flows)",
+        "ref_us": round(ref * 1e6, 2),
+        "inc_us": round(inc * 1e6, 2),
+        "speedup": round(ref / inc, 1),
+    }
+
+
+def _micro_bottlenecks(
+    n_flows: int = 2000, n_coflows: int = 200, n_ports: int = 50,
+    loops: int = 100,
+) -> dict:
+    """SEBF priority keys: per-coflow masked bincounts vs one keyed bincount."""
+    rng = np.random.default_rng(0)
+    cids = np.sort(rng.integers(0, n_coflows, size=n_flows))
+    srcs = rng.integers(0, n_ports, size=n_flows)
+    dsts = rng.integers(0, n_ports, size=n_flows)
+    remaining = rng.uniform(1e6, 1e8, size=n_flows)
+    unique = np.unique(cids)
+
+    def ref_keys() -> list[float]:
+        out = []
+        for c in unique:
+            mask = cids == c
+            send = np.bincount(
+                srcs[mask], weights=remaining[mask], minlength=n_ports
+            )
+            recv = np.bincount(
+                dsts[mask], weights=remaining[mask], minlength=n_ports
+            )
+            out.append(float(max(send.max(), recv.max())))
+        return out
+
+    groups = FlowGroups(cids)
+
+    def inc_keys() -> list[float]:
+        k = groups.n_groups
+        cell = groups.inverse * n_ports
+        send = np.bincount(
+            cell + srcs, weights=remaining, minlength=k * n_ports
+        ).reshape(k, n_ports)
+        recv = np.bincount(
+            cell + dsts, weights=remaining, minlength=k * n_ports
+        ).reshape(k, n_ports)
+        return np.maximum(send.max(axis=1), recv.max(axis=1)).tolist()
+
+    assert ref_keys() == inc_keys()
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        ref_keys()
+    ref = (time.perf_counter() - t0) / loops
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        inc_keys()
+    inc = (time.perf_counter() - t0) / loops
+    return {
+        "what": "per-coflow bottleneck loads (scheduler priority keys), "
+        f"per epoch ({n_coflows} coflows x {n_flows} flows)",
+        "ref_us": round(ref * 1e6, 2),
+        "inc_us": round(inc * 1e6, 2),
+        "speedup": round(ref / inc, 1),
+    }
+
+
+def run_micro() -> dict:
+    return {
+        "noise_view": _micro_noise_view(),
+        "coflow_aggregates": _micro_aggregates(),
+        "coflow_bottlenecks": _micro_bottlenecks(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+def _scaling(repeats: int = 1) -> list[dict]:
+    """Wall time against mix size (sebf, plain scenario)."""
+    rows = []
+    for n_coflows in (50, 100, 200):
+        spec = CaseSpec(
+            "sebf", "plain",
+            n_ports=50, n_coflows=n_coflows, arrival_rate=40.0, seed=1,
+        )
+        case = run_case(spec, repeats=repeats)
+        rows.append(
+            {
+                "n_coflows": n_coflows,
+                "n_flows": case["n_flows"],
+                "n_epochs": case["n_epochs"],
+                "ref_wall_s": case["ref"]["wall_s"],
+                "inc_wall_s": case["inc"]["wall_s"],
+                "speedup": case["speedup"],
+            }
+        )
+    return rows
+
+
+def _geomean(values: Sequence[float]) -> float:
+    return float(np.exp(np.mean(np.log(values)))) if values else 0.0
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    repeats: int = 1,
+    with_scaling: bool | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the full harness and return the BENCH_simulator.json payload."""
+    say = progress or (lambda _msg: None)
+    cases: dict[str, dict] = {}
+    for spec in default_cases(quick=quick):
+        say(f"case {spec.key} ...")
+        cases[spec.key] = run_case(spec, repeats=repeats)
+    say("microbenchmarks ...")
+    micro = run_micro()
+    scaling: list[dict] = []
+    if with_scaling is None:
+        with_scaling = not quick
+    if with_scaling:
+        say("size scaling ...")
+        scaling = _scaling(repeats=repeats)
+    speedups = [c["speedup"] for c in cases.values()]
+    payload = {
+        "schema": 1,
+        "generated_by": "ccf bench" + (" --quick" if quick else ""),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {"quick": quick, "repeats": repeats},
+        "cases": cases,
+        "scaling": scaling,
+        "micro": micro,
+        "summary": {
+            "n_cases": len(cases),
+            "all_bit_identical": all(
+                c["bit_identical"] for c in cases.values()
+            ),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "geomean_speedup": round(_geomean(speedups), 3),
+            "micro_min_speedup": min(
+                m["speedup"] for m in micro.values()
+            ),
+        },
+    }
+    return payload
+
+
+def check_regression(
+    current: dict, baseline: dict, *, tolerance: float = 0.3
+) -> list[str]:
+    """Compare epochs/sec of the incremental path against a baseline.
+
+    Returns a list of human-readable problems (empty = gate passes).  A
+    case regresses when its incremental epochs/sec falls more than
+    ``tolerance`` (fraction) below the baseline's for the same key; a
+    broken bit-identity verdict is always a failure.
+    """
+    problems: list[str] = []
+    base_cases = baseline.get("cases", {})
+    for key, case in current.get("cases", {}).items():
+        if not case.get("bit_identical", False):
+            problems.append(f"{key}: reference/incremental results differ")
+        base = base_cases.get(key)
+        if base is None:
+            continue
+        cur_eps = case["inc"]["epochs_per_sec"]
+        base_eps = base["inc"]["epochs_per_sec"]
+        if cur_eps < base_eps * (1.0 - tolerance):
+            problems.append(
+                f"{key}: {cur_eps:.1f} epochs/s is more than "
+                f"{tolerance:.0%} below baseline {base_eps:.1f}"
+            )
+    return problems
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.network.fabric import Fabric
 
-__all__ = ["CoflowProgress", "SchedulingContext"]
+__all__ = ["CoflowProgress", "FlowGroups", "SchedulingContext"]
 
 
 @dataclass
@@ -48,6 +48,81 @@ class CoflowProgress:
         return self.completion_time is not None
 
 
+class FlowGroups:
+    """Per-coflow index structure over the flat active-flow arrays.
+
+    Grouping the flows of each coflow with boolean masks costs
+    ``O(n_flows)`` per coflow per query -- ``O(n_flows * n_coflows)`` per
+    epoch once every discipline asks for every coflow's flows and
+    aggregates.  ``FlowGroups`` computes the grouping once (``O(n log n)``)
+    and answers every per-coflow query from contiguous slices.  The
+    structure only depends on the *identity* of the active flows, not on
+    their remaining volumes, so the simulator builds it once per
+    ``ActiveFlows.version`` and reuses it across epochs until a flow is
+    appended or removed.
+
+    Numerical compatibility: ``indices_of`` returns exactly the array
+    ``np.nonzero(coflow_ids == cid)[0]`` would (ascending order), and
+    :meth:`value_sums` gathers each group into a contiguous buffer before
+    calling ``np.sum`` -- same elements, same order, same pairwise
+    summation tree as ``values[coflow_ids == cid].sum()`` -- so callers
+    switching from masks to groups get bit-identical floats.
+    """
+
+    __slots__ = ("unique_cids", "inverse", "order", "starts", "counts", "_slot")
+
+    def __init__(self, coflow_ids: np.ndarray) -> None:
+        self.unique_cids, self.inverse = np.unique(
+            coflow_ids, return_inverse=True
+        )
+        # Stable argsort keeps ascending flow order inside each group.
+        self.order = np.argsort(self.inverse, kind="stable")
+        self.counts = np.bincount(
+            self.inverse, minlength=self.unique_cids.size
+        )
+        self.starts = np.concatenate(([0], np.cumsum(self.counts)))
+        self._slot = {int(c): i for i, c in enumerate(self.unique_cids)}
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.unique_cids.size)
+
+    def slot(self, coflow_id: int) -> int | None:
+        """Group index of a coflow id, or None when it has no flows."""
+        return self._slot.get(int(coflow_id))
+
+    def indices_of(self, coflow_id: int) -> np.ndarray:
+        """Ascending flow indices of one coflow (empty when unknown)."""
+        gi = self._slot.get(int(coflow_id))
+        if gi is None:
+            return np.empty(0, dtype=self.order.dtype)
+        return self.order[self.starts[gi]:self.starts[gi + 1]]
+
+    def value_sums(self, values: np.ndarray) -> list[float]:
+        """Per-group sums of a flow-aligned array, in ``unique_cids`` order.
+
+        Bit-identical to ``float(values[coflow_ids == cid].sum())`` for
+        each group (see class docstring).
+        """
+        gathered = values.take(self.order)
+        starts = self.starts
+        return [
+            float(gathered[starts[i]:starts[i + 1]].sum())
+            for i in range(self.n_groups)
+        ]
+
+    def expand(self, per_group: np.ndarray) -> np.ndarray:
+        """Broadcast one value per group back onto the flow axis."""
+        return np.asarray(per_group)[self.inverse]
+
+    def all_done_mask(self, done: np.ndarray) -> np.ndarray:
+        """Boolean per group: every flow of the group satisfies ``done``."""
+        done_counts = np.bincount(
+            self.inverse[done], minlength=self.n_groups
+        )
+        return done_counts == self.counts
+
+
 @dataclass
 class SchedulingContext:
     """Snapshot of simulator state handed to a scheduler at each epoch.
@@ -55,6 +130,13 @@ class SchedulingContext:
     All flow-level attributes are parallel arrays of length ``n_flows``
     covering only active flows.  A scheduler returns an array of rates
     (bytes/second) aligned with these arrays.
+
+    ``groups`` (optional) is the simulator's cached :class:`FlowGroups`
+    over ``coflow_ids``; when present, the per-coflow queries and the bulk
+    aggregate methods answer from it instead of scanning the full arrays.
+    When absent, every method falls back to the original mask-based
+    reference implementation -- the equivalence property tests and the
+    hot-path benchmark run both paths against each other.
     """
 
     time: float
@@ -64,6 +146,7 @@ class SchedulingContext:
     remaining: np.ndarray
     coflow_ids: np.ndarray
     progress: dict[int, CoflowProgress] = field(default_factory=dict)
+    groups: FlowGroups | None = None
 
     @property
     def n_flows(self) -> int:
@@ -71,15 +154,71 @@ class SchedulingContext:
 
     def active_coflow_ids(self) -> list[int]:
         """Distinct coflow ids with at least one active flow, ascending."""
+        if self.groups is not None:
+            return [int(c) for c in self.groups.unique_cids]
         return [int(c) for c in np.unique(self.coflow_ids)]
 
     def flows_of(self, coflow_id: int) -> np.ndarray:
         """Indices (into the flat arrays) of the coflow's active flows."""
+        if self.groups is not None:
+            return self.groups.indices_of(coflow_id)
         return np.nonzero(self.coflow_ids == coflow_id)[0]
 
     def remaining_volume(self, coflow_id: int) -> float:
         """Total unfinished bytes of one coflow."""
         return float(self.remaining[self.coflow_ids == coflow_id].sum())
+
+    def remaining_volumes(self) -> list[float]:
+        """Remaining bytes of every active coflow, ``active_coflow_ids`` order."""
+        if self.groups is not None:
+            return self.groups.value_sums(self.remaining)
+        return [self.remaining_volume(c) for c in self.active_coflow_ids()]
+
+    def coflow_rate_sums(self, rates: np.ndarray) -> list[float]:
+        """Aggregate rate of every active coflow, ``active_coflow_ids`` order."""
+        if self.groups is not None:
+            return self.groups.value_sums(rates)
+        return [
+            float(rates[self.coflow_ids == c].sum())
+            for c in self.active_coflow_ids()
+        ]
+
+    def remaining_bottlenecks(self) -> list[float]:
+        """Gamma of every active coflow's remainder, ``active_coflow_ids`` order.
+
+        Vectorized over all coflows at once when ``groups`` is cached: one
+        combined bincount keyed by ``group * n_ports + port`` accumulates
+        every (coflow, port) load cell in ascending flow order -- the same
+        order the per-coflow :meth:`remaining_bottleneck` bincount uses,
+        so the sums (and the resulting Gammas) are bit-identical.
+        """
+        g = self.groups
+        if g is None:
+            return [
+                self.remaining_bottleneck(c) for c in self.active_coflow_ids()
+            ]
+        k = g.n_groups
+        n = self.fabric.n_ports
+        cell = g.inverse * n
+        send = np.bincount(
+            cell + self.srcs, weights=self.remaining, minlength=k * n
+        ).reshape(k, n)
+        recv = np.bincount(
+            cell + self.dsts, weights=self.remaining, minlength=k * n
+        ).reshape(k, n)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_out = np.where(
+                self.fabric.egress_rates > 0,
+                send / self.fabric.egress_rates,
+                np.where(send > 0, np.inf, 0.0),
+            )
+            t_in = np.where(
+                self.fabric.ingress_rates > 0,
+                recv / self.fabric.ingress_rates,
+                np.where(recv > 0, np.inf, 0.0),
+            )
+        per = np.maximum(t_out.max(axis=1), t_in.max(axis=1))
+        return [float(v) for v in per]
 
     def remaining_bottleneck(self, coflow_id: int) -> float:
         """Varys' effective bottleneck Gamma_c of the coflow's remainder.

@@ -106,6 +106,26 @@ class Coflow:
     def __iter__(self) -> Iterator[Flow]:
         return iter(self.flows)
 
+    def flow_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(srcs, dsts, volumes)`` as flat arrays, cached on the coflow.
+
+        The simulator admits coflows by appending these arrays to its
+        active-flow columns; caching avoids rebuilding them from the
+        ``Flow`` objects on every (re)admission.  The cache assumes the
+        flow list is not mutated after first use -- the constructor
+        already canonicalizes (merges + sorts) the flows, and the
+        simulator treats coflows as immutable.
+        """
+        cached = getattr(self, "_flow_arrays", None)
+        if cached is None:
+            cached = (
+                np.array([f.src for f in self.flows], dtype=np.int64),
+                np.array([f.dst for f in self.flows], dtype=np.int64),
+                np.array([f.volume for f in self.flows], dtype=float),
+            )
+            self._flow_arrays = cached
+        return cached
+
     @property
     def total_volume(self) -> float:
         """Sum of all flow volumes in bytes (the coflow *size*)."""

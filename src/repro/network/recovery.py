@@ -72,6 +72,17 @@ class ActiveFlows:
     ``attempts`` counts how many times it has been stranded -- both are
     only consulted by the recovery layer, but the simulator maintains
     them unconditionally so recovery can engage at any failure event.
+
+    ``version`` increments on every structural change (append / keep) so
+    callers can cache per-coflow groupings and other flow-aligned state
+    across epochs and rebuild only when the flow set actually changes.
+
+    ``view_factor`` is an optional flow-aligned column of noise factors
+    on the scheduler's view of remaining volumes.  It stays ``None``
+    unless the owning simulator activates it; once active it rides along
+    through every append / keep, with NaN marking rows whose factor has
+    not been drawn yet (appends from the recovery layer cannot know the
+    noise model, so they leave NaN for the simulator to fill lazily).
     """
 
     srcs: np.ndarray
@@ -80,6 +91,8 @@ class ActiveFlows:
     volume0: np.ndarray
     attempts: np.ndarray
     cids: np.ndarray
+    version: int = 0
+    view_factor: np.ndarray | None = None
 
     @classmethod
     def empty(cls) -> "ActiveFlows":
@@ -104,6 +117,7 @@ class ActiveFlows:
         volume0: np.ndarray,
         attempts: np.ndarray,
         cids: np.ndarray,
+        view_factor: np.ndarray | None = None,
     ) -> None:
         self.srcs = np.concatenate([self.srcs, srcs]).astype(np.int64)
         self.dsts = np.concatenate([self.dsts, dsts]).astype(np.int64)
@@ -111,6 +125,13 @@ class ActiveFlows:
         self.volume0 = np.concatenate([self.volume0, volume0])
         self.attempts = np.concatenate([self.attempts, attempts]).astype(np.int64)
         self.cids = np.concatenate([self.cids, cids]).astype(np.int64)
+        if self.view_factor is not None:
+            if view_factor is None:
+                view_factor = np.full(np.shape(srcs)[0], np.nan)
+            self.view_factor = np.concatenate(
+                [self.view_factor, np.asarray(view_factor, dtype=float)]
+            )
+        self.version += 1
 
     def keep(self, mask: np.ndarray) -> None:
         """Drop every flow where ``mask`` is False."""
@@ -120,6 +141,9 @@ class ActiveFlows:
         self.volume0 = self.volume0[mask]
         self.attempts = self.attempts[mask]
         self.cids = self.cids[mask]
+        if self.view_factor is not None:
+            self.view_factor = self.view_factor[mask]
+        self.version += 1
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,27 @@
-"""Scheduler interface and shared rate-allocation primitives."""
+"""Scheduler interface and shared rate-allocation primitives.
+
+Two implementations of each primitive live here:
+
+``maxmin_fill_reference`` / ``madd_rates_reference``
+    The original split-residual implementations, kept verbatim.  The
+    simulator's reference path (``incremental=False``) routes through
+    them so ``ccf bench`` measures the seed's true cost, and the
+    property tests pin the fast kernels against them bit-for-bit.
+
+``maxmin_fill_fast`` / ``madd_rates_fast``
+    Combined-port rewrites: egress cell ``p`` and ingress cell
+    ``n_ports + p`` share one residual vector, halving the bincounts,
+    divisions, minima and clamps per waterfill iteration.  The frozen
+    flows are *compressed out* of the working arrays instead of masked,
+    and the unweighted per-port counts are maintained by integer
+    subtraction instead of recounted.  Every transformation preserves
+    the exact float semantics of the reference (see the inline notes),
+    so the allocations -- and therefore simulated CCTs -- are
+    bit-identical.
+
+The public ``maxmin_fill`` / ``madd_rates`` keep the original split
+signature and delegate to the fast kernels.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +31,15 @@ import numpy as np
 
 from repro.network.events import SchedulingContext
 
-__all__ = ["CoflowScheduler", "maxmin_fill", "madd_rates"]
+__all__ = [
+    "CoflowScheduler",
+    "maxmin_fill",
+    "madd_rates",
+    "maxmin_fill_reference",
+    "madd_rates_reference",
+    "maxmin_fill_fast",
+    "madd_rates_fast",
+]
 
 
 class CoflowScheduler(ABC):
@@ -50,7 +81,7 @@ class CoflowScheduler(ABC):
         return f"{type(self).__name__}()"
 
 
-def maxmin_fill(
+def maxmin_fill_reference(
     srcs: np.ndarray,
     dsts: np.ndarray,
     res_out: np.ndarray,
@@ -71,6 +102,9 @@ def maxmin_fill(
     (or proportionally to ``weights`` -- the weighted max-min of priority
     classes) until some port saturates, freezes the flows crossing that
     port, and repeats -- the classical waterfilling algorithm.
+
+    This is the original implementation; :func:`maxmin_fill_fast` computes
+    the same allocation (bit-for-bit) with far fewer array operations.
     """
     n_flows = srcs.shape[0]
     if rates is None:
@@ -125,7 +159,7 @@ def maxmin_fill(
     return rates
 
 
-def madd_rates(
+def madd_rates_reference(
     srcs: np.ndarray,
     dsts: np.ndarray,
     remaining: np.ndarray,
@@ -142,6 +176,9 @@ def madd_rates(
     without hogging bandwidth.  Updates ``rates`` and the residual arrays in
     place.  Returns ``False`` when the coflow is blocked (some required port
     has no residual capacity).
+
+    This is the original implementation; :func:`madd_rates_fast` computes
+    the same allocation (bit-for-bit) on a combined residual vector.
     """
     if subset.size == 0:
         return True
@@ -166,3 +203,362 @@ def madd_rates(
     np.maximum(res_out, 0.0, out=res_out)
     np.maximum(res_in, 0.0, out=res_in)
     return True
+
+
+#: Subset size below which the per-coflow kernels drop to plain-Python
+#: scalar arithmetic: for a handful of flows the cost of a numpy call
+#: (~1-2us each) dwarfs the arithmetic, and scalar IEEE doubles follow
+#: the exact same operation sequence, so results stay bit-identical.
+_SCALAR_MAX = 32
+#: MADD is a single pass (no iteration), so numpy amortizes better; the
+#: scalar version only wins for very narrow coflows.
+_MADD_SCALAR_MAX = 4
+
+
+def _maxmin_small_zero(
+    srcs: np.ndarray,
+    dsts_off: np.ndarray,
+    res: np.ndarray,
+    subset: np.ndarray,
+    rates: np.ndarray,
+) -> np.ndarray:
+    """Scalar waterfill for a small subset whose rates start at zero.
+
+    Mirrors the reference iteration exactly: integer per-port counts,
+    ``share = res / cnt`` per busy port, one uniform ``step`` (the exact
+    minimum), ``res -= step * cnt`` per cell, clamp, freeze.  Because the
+    subset's rates are all zero on entry, the per-iteration ``rates[i] +=
+    step`` sequence equals assigning the running level at freeze time
+    (``0 + s1 + ... + sk`` associates identically), so each flow's rate
+    is written once.
+    """
+    idxs = subset.tolist()
+    ss = srcs[subset].tolist()
+    ds = dsts_off[subset].tolist()
+    item = res.item
+    level = 0.0
+    while idxs:
+        cnt: dict[int, int] = {}
+        for p in ss:
+            cnt[p] = cnt.get(p, 0) + 1
+        for p in ds:
+            cnt[p] = cnt.get(p, 0) + 1
+        step = np.inf
+        for p, c in cnt.items():
+            sh = item(p) / c
+            if sh < step:
+                step = sh
+        if not np.isfinite(step):  # pragma: no cover - defensive
+            break
+        if step < 0.0:  # pragma: no cover - residuals are clamped >= 0
+            step = 0.0
+        level = level + step
+        sat = None
+        for p, c in cnt.items():
+            v = item(p) - step * c
+            if v < 0.0:
+                v = 0.0
+            res[p] = v
+            if v <= 1e-9:
+                if sat is None:
+                    sat = {p}
+                else:
+                    sat.add(p)
+        if sat is None:
+            break
+        kept_i: list[int] = []
+        kept_s: list[int] = []
+        kept_d: list[int] = []
+        frozen: list[int] = []
+        for i, s, d in zip(idxs, ss, ds):
+            if s in sat or d in sat:
+                frozen.append(i)
+            else:
+                kept_i.append(i)
+                kept_s.append(s)
+                kept_d.append(d)
+        if not frozen:
+            break
+        for i in frozen:
+            rates[i] = level
+        idxs, ss, ds = kept_i, kept_s, kept_d
+    for i in idxs:
+        rates[i] = level
+    return rates
+
+
+def _madd_small(
+    srcs: np.ndarray,
+    dsts_off: np.ndarray,
+    remaining: np.ndarray,
+    res: np.ndarray,
+    subset: np.ndarray,
+    rates: np.ndarray,
+) -> bool:
+    """Scalar MADD for a small coflow; bit-identical to the reference.
+
+    Per-port loads accumulate in flow order (same sequence as the
+    bincount), the blocked test and ``Gamma`` cover exactly the ports
+    with positive load, and the residual decrement per cell subtracts the
+    flow-ordered sum of allocations -- one subtraction per port, exactly
+    like ``res -= bincount(...)``.
+    """
+    sl = srcs[subset].tolist()
+    dl = dsts_off[subset].tolist()
+    rl = remaining[subset].tolist()
+    load: dict[int, float] = {}
+    for p, r in zip(sl, rl):
+        load[p] = load.get(p, 0.0) + r
+    for p, r in zip(dl, rl):
+        load[p] = load.get(p, 0.0) + r
+    item = res.item
+    gamma = 0.0
+    for p, ld in load.items():
+        if ld <= 0:
+            continue
+        rp = item(p)
+        if rp <= 1e-9:
+            return False
+        q = ld / rp
+        if q > gamma:
+            gamma = q
+    if gamma <= 0:
+        return True
+    dec: dict[int, float] = {}
+    alloc = []
+    for s, d, r in zip(sl, dl, rl):
+        a = r / gamma
+        alloc.append(a)
+        dec[s] = dec.get(s, 0.0) + a
+        dec[d] = dec.get(d, 0.0) + a
+    # Subset indices are unique, so the fancy += / -= below perform one
+    # per-element add per cell -- the same additions as scalar writes.
+    rates[subset] += np.asarray(alloc)
+    res[np.fromiter(dec.keys(), dtype=np.intp, count=len(dec))] -= (
+        np.fromiter(dec.values(), dtype=np.float64, count=len(dec))
+    )
+    np.maximum(res, 0.0, out=res)
+    return True
+
+
+def maxmin_fill_fast(
+    srcs: np.ndarray,
+    dsts_off: np.ndarray,
+    res: np.ndarray,
+    *,
+    subset: np.ndarray | None = None,
+    rates: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
+    zero_rates: bool = False,
+) -> np.ndarray:
+    """Combined-port progressive filling, bit-identical to the reference.
+
+    ``dsts_off`` is ``dsts + n_ports`` and ``res`` the length ``2 *
+    n_ports`` concatenation of the egress and ingress residuals (modified
+    in place).  Why each rewrite keeps the exact reference floats:
+
+    - One bincount over ``[srcs..., dsts_off...]`` hits disjoint cells
+      for the two halves, accumulating each cell in flow order exactly
+      like the two separate bincounts.
+    - Unweighted per-port counts are whole numbers; maintaining them as
+      integers and subtracting the frozen flows' counts is exact, and
+      int->float promotion in the divides is exact too.
+    - Frozen flows are removed from the working arrays; the survivors
+      keep their relative order, so recomputed weighted bincounts
+      accumulate in the reference order.
+    - ``min`` / ``max`` never round, so one minimum over the combined
+      share vector equals the reference's ``min(out.min(), in.min())``.
+    - ``rates[idx] += step`` equals the reference's ``+= step * 1.0``.
+
+    ``zero_rates=True`` promises the subset's rates are all zero on
+    entry (automatic when ``rates`` is None).  That unlocks the *level*
+    shortcut: the reference's per-iteration ``rates[idx] += step`` then
+    accumulates ``0 + s1 + ... + sk`` per flow, which is the exact same
+    left-associated addition sequence as a running scalar level, so each
+    flow's rate can be written once when it freezes.  (Weighted fills
+    still add per iteration: ``sum(s_j * w)`` and ``(sum s_j) * w``
+    round differently.)
+    """
+    n_flows = srcs.shape[0]
+    if rates is None:
+        rates = np.zeros(n_flows)
+        zero_rates = True
+    if (
+        zero_rates
+        and weights is None
+        and subset is not None
+        and 0 < subset.size <= _SCALAR_MAX
+    ):
+        return _maxmin_small_zero(srcs, dsts_off, res, subset, rates)
+    if weights is not None:
+        w_all = np.asarray(weights, dtype=float)
+        if w_all.shape != (n_flows,):
+            raise ValueError(f"weights must have shape ({n_flows},)")
+        if (w_all <= 0).any():
+            raise ValueError("weights must be strictly positive")
+    if subset is None:
+        cur_idx: np.ndarray | None = None  # all flows; materialized lazily
+        port = np.concatenate((srcs, dsts_off))
+        m = n_flows
+        cur_w = None if weights is None else w_all
+    else:
+        if subset.size == 0:
+            return rates
+        cur_idx = subset
+        port = np.concatenate((srcs[subset], dsts_off[subset]))
+        m = subset.shape[0]
+        cur_w = None if weights is None else w_all[subset]
+    if m == 0:
+        return rates
+
+    two_n = res.shape[0]
+    share = np.empty(two_n)
+    use_level = zero_rates and weights is None
+    level = 0.0
+    if cur_w is None:
+        cnt = np.bincount(port, minlength=two_n)
+    while True:
+        if cur_w is not None:
+            cnt = np.bincount(
+                port, weights=np.concatenate((cur_w, cur_w)), minlength=two_n
+            )
+        busy = cnt > 0
+        share.fill(np.inf)
+        np.divide(res, cnt, out=share, where=busy)
+        step = share.min()
+        if not np.isfinite(step):  # pragma: no cover - defensive
+            break
+        step = max(step, 0.0)
+        if use_level:
+            level = level + step
+        elif cur_w is None:
+            if cur_idx is None:
+                rates += step
+            else:
+                rates[cur_idx] += step
+        else:
+            if cur_idx is None:
+                rates += step * cur_w
+            else:
+                rates[cur_idx] += step * cur_w
+        res -= step * cnt
+        np.maximum(res, 0.0, out=res)
+        sat = busy & (res <= 1e-9)
+        fr2 = sat[port]
+        frozen = fr2[:m] | fr2[m:]
+        if not frozen.any():
+            break
+        if use_level:
+            if cur_idx is None:
+                rates[np.flatnonzero(frozen)] = level
+            else:
+                rates[cur_idx[frozen]] = level
+        keep = ~frozen
+        port = port[np.concatenate((keep, keep))]
+        if cur_idx is None:
+            cur_idx = np.flatnonzero(keep)
+        else:
+            cur_idx = cur_idx[keep]
+        if cur_w is None:
+            # Integer counts of the surviving flows; recomputing equals
+            # subtracting the frozen flows' counts exactly.
+            cnt = np.bincount(port, minlength=two_n)
+        else:
+            cur_w = cur_w[keep]
+        m = cur_idx.shape[0]
+        if m == 0:
+            break
+    if use_level:
+        # Survivors (loop left without freezing them) sit at the final
+        # level; frozen flows were written above.
+        if cur_idx is None:
+            rates.fill(level)
+        elif cur_idx.size:
+            rates[cur_idx] = level
+    return rates
+
+
+def madd_rates_fast(
+    srcs: np.ndarray,
+    dsts_off: np.ndarray,
+    remaining: np.ndarray,
+    res: np.ndarray,
+    subset: np.ndarray,
+    rates: np.ndarray,
+) -> bool:
+    """Combined-port MADD, bit-identical to the reference.
+
+    Same conventions as :func:`maxmin_fill_fast`: ``dsts_off = dsts +
+    n_ports`` and ``res`` is the combined residual vector (modified in
+    place).  The single bincount reaches disjoint cells for the egress
+    and ingress halves in flow order, the blocked test is an
+    order-independent ``any``, and one ``max`` over the combined loads
+    equals the reference's max of the two per-side maxima.
+    """
+    if subset.size == 0:
+        return True
+    if subset.size <= _MADD_SCALAR_MAX:
+        return _madd_small(srcs, dsts_off, remaining, res, subset, rates)
+    two_n = res.shape[0]
+    rem = remaining[subset]
+    port = np.concatenate((srcs[subset], dsts_off[subset]))
+    load = np.bincount(
+        port, weights=np.concatenate((rem, rem)), minlength=two_n
+    )
+    busy = load > 0
+    res_busy = res[busy]
+    if (res_busy <= 1e-9).any():
+        return False
+    gamma = (load[busy] / res_busy).max(initial=0.0)
+    if gamma <= 0:
+        return True
+    alloc = rem / gamma
+    rates[subset] += alloc
+    res -= np.bincount(
+        port, weights=np.concatenate((alloc, alloc)), minlength=two_n
+    )
+    np.maximum(res, 0.0, out=res)
+    return True
+
+
+def maxmin_fill(
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    res_out: np.ndarray,
+    res_in: np.ndarray,
+    *,
+    subset: np.ndarray | None = None,
+    rates: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Split-residual front door for :func:`maxmin_fill_fast`.
+
+    Keeps the original signature (and in-place residual semantics) while
+    delegating the waterfill to the combined-port kernel.
+    """
+    n_ports = res_out.shape[0]
+    res = np.concatenate((res_out, res_in))
+    out = maxmin_fill_fast(
+        srcs, dsts + n_ports, res, subset=subset, rates=rates, weights=weights
+    )
+    res_out[:] = res[:n_ports]
+    res_in[:] = res[n_ports:]
+    return out
+
+
+def madd_rates(
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    remaining: np.ndarray,
+    res_out: np.ndarray,
+    res_in: np.ndarray,
+    subset: np.ndarray,
+    rates: np.ndarray,
+) -> bool:
+    """Split-residual front door for :func:`madd_rates_fast`."""
+    n_ports = res_out.shape[0]
+    res = np.concatenate((res_out, res_in))
+    ok = madd_rates_fast(srcs, dsts + n_ports, remaining, res, subset, rates)
+    res_out[:] = res[:n_ports]
+    res_in[:] = res[n_ports:]
+    return ok

@@ -17,7 +17,11 @@ import math
 import numpy as np
 
 from repro.network.events import SchedulingContext
-from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
+from repro.network.schedulers.base import (
+    CoflowScheduler,
+    maxmin_fill_fast,
+    maxmin_fill_reference,
+)
 
 __all__ = ["DCLASScheduler"]
 
@@ -63,6 +67,11 @@ class DCLASScheduler(CoflowScheduler):
         self.multiplier = float(multiplier)
         self.num_queues = int(num_queues)
         self.queue_weight_decay = float(queue_weight_decay)
+        # Queue boundaries are fixed for the scheduler's lifetime; the
+        # hint below consults them every epoch.
+        self._thresholds = self.first_threshold * (
+            self.multiplier ** np.arange(self.num_queues - 1)
+        )
 
     def queue_of(self, sent_bytes: float) -> int:
         """Queue index (0 = highest priority) for a coflow's attained service."""
@@ -77,8 +86,6 @@ class DCLASScheduler(CoflowScheduler):
 
     def allocate(self, ctx: SchedulingContext) -> np.ndarray:
         rates = np.zeros(ctx.n_flows)
-        res_out = ctx.fabric.egress_rates.copy()
-        res_in = ctx.fabric.ingress_rates.copy()
         order = sorted(
             ctx.active_coflow_ids(),
             key=lambda c: (
@@ -87,12 +94,34 @@ class DCLASScheduler(CoflowScheduler):
                 c,
             ),
         )
+        if ctx.groups is None:
+            res_out = ctx.fabric.egress_rates.copy()
+            res_in = ctx.fabric.ingress_rates.copy()
+            if self.queue_weight_decay > 0:
+                self._reserve_weighted_shares(
+                    ctx, order, res_out, res_in, rates
+                )
+            for cid in order:
+                maxmin_fill_reference(
+                    ctx.srcs, ctx.dsts, res_out, res_in,
+                    subset=ctx.flows_of(cid), rates=rates,
+                )
+            return rates
+        dsts_off = ctx.dsts + ctx.fabric.n_ports
+        res = np.concatenate(
+            (ctx.fabric.egress_rates, ctx.fabric.ingress_rates)
+        )
         if self.queue_weight_decay > 0:
-            self._reserve_weighted_shares(ctx, order, res_out, res_in, rates)
+            self._reserve_weighted_shares_fast(
+                ctx, order, dsts_off, res, rates
+            )
+            zero = False  # reservations already wrote these flows' rates
+        else:
+            zero = True  # each subset is written exactly once, from zero
         for cid in order:
-            maxmin_fill(
-                ctx.srcs, ctx.dsts, res_out, res_in,
-                subset=ctx.flows_of(cid), rates=rates,
+            maxmin_fill_fast(
+                ctx.srcs, dsts_off, res,
+                subset=ctx.flows_of(cid), rates=rates, zero_rates=zero,
             )
         return rates
 
@@ -134,7 +163,7 @@ class DCLASScheduler(CoflowScheduler):
             before_out = slice_out.copy()
             before_in = slice_in.copy()
             idx = np.concatenate([ctx.flows_of(c) for c in cids])
-            maxmin_fill(
+            maxmin_fill_reference(
                 ctx.srcs, ctx.dsts, slice_out, slice_in,
                 subset=idx, rates=rates,
             )
@@ -143,6 +172,43 @@ class DCLASScheduler(CoflowScheduler):
             np.maximum(res_out, 0.0, out=res_out)
             np.maximum(res_in, 0.0, out=res_in)
 
+    def _reserve_weighted_shares_fast(
+        self,
+        ctx: SchedulingContext,
+        order: list[int],
+        dsts_off: np.ndarray,
+        res: np.ndarray,
+        rates: np.ndarray,
+    ) -> None:
+        """Combined-residual twin of :meth:`_reserve_weighted_shares`.
+
+        Identical arithmetic on the concatenated egress/ingress vector:
+        the slice, fill, consumption and clamp are elementwise, so
+        operating on the combined array gives the reference floats.
+        """
+        queues: dict[int, list[int]] = {}
+        for cid in order:
+            q = self.queue_of(ctx.progress[cid].sent_bytes)
+            queues.setdefault(q, []).append(cid)
+        if len(queues) <= 1:
+            return
+        weights = {q: self.queue_weight_decay ** q for q in queues}
+        total = sum(weights.values())
+        base = res.copy()
+        for q, cids in sorted(queues.items()):
+            frac = weights[q] / total
+            slice_res = np.minimum(base * frac, res)
+            before = slice_res.copy()
+            idx = np.concatenate([ctx.flows_of(c) for c in cids])
+            # Queues are disjoint, so each flow's rate is still zero when
+            # its queue's slice is filled.
+            maxmin_fill_fast(
+                ctx.srcs, dsts_off, slice_res,
+                subset=idx, rates=rates, zero_rates=True,
+            )
+            res -= before - slice_res
+            np.maximum(res, 0.0, out=res)
+
     def next_event_hint(self, ctx: SchedulingContext, rates: np.ndarray):
         """Time until some coflow's attained service crosses a threshold.
 
@@ -150,12 +216,10 @@ class DCLASScheduler(CoflowScheduler):
         epoch; without this hint the simulator would hold priorities fixed
         until the next completion and miss demotions.
         """
-        thresholds = self.first_threshold * (
-            self.multiplier ** np.arange(self.num_queues - 1)
-        )
+        thresholds = self._thresholds
         best: float | None = None
-        for cid in ctx.active_coflow_ids():
-            flow_rate = float(rates[ctx.coflow_ids == cid].sum())
+        flow_rates = ctx.coflow_rate_sums(rates)
+        for cid, flow_rate in zip(ctx.active_coflow_ids(), flow_rates):
             if flow_rate <= 0:
                 continue
             sent = ctx.progress[cid].sent_bytes

@@ -11,7 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.events import SchedulingContext
-from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
+from repro.network.schedulers.base import (
+    CoflowScheduler,
+    maxmin_fill_fast,
+    maxmin_fill_reference,
+)
 
 __all__ = ["FairSharingScheduler"]
 
@@ -35,15 +39,32 @@ class FairSharingScheduler(CoflowScheduler):
         self.use_weights = use_weights
 
     def allocate(self, ctx: SchedulingContext) -> np.ndarray:
-        res_out = ctx.fabric.egress_rates.copy()
-        res_in = ctx.fabric.ingress_rates.copy()
         weights = None
         if self.use_weights and ctx.n_flows:
-            weights = np.array(
-                [ctx.progress[int(c)].weight for c in ctx.coflow_ids]
-            )
+            if ctx.groups is not None:
+                # One progress lookup per coflow, broadcast to the flow
+                # axis -- same values as the per-flow comprehension below.
+                g = ctx.groups
+                weights = g.expand(
+                    np.array(
+                        [ctx.progress[int(c)].weight for c in g.unique_cids]
+                    )
+                )
+            else:
+                weights = np.array(
+                    [ctx.progress[int(c)].weight for c in ctx.coflow_ids]
+                )
             if np.all(weights == 1.0):
                 weights = None
-        return maxmin_fill(
-            ctx.srcs, ctx.dsts, res_out, res_in, weights=weights
+        if ctx.groups is None:
+            res_out = ctx.fabric.egress_rates.copy()
+            res_in = ctx.fabric.ingress_rates.copy()
+            return maxmin_fill_reference(
+                ctx.srcs, ctx.dsts, res_out, res_in, weights=weights
+            )
+        res = np.concatenate(
+            (ctx.fabric.egress_rates, ctx.fabric.ingress_rates)
+        )
+        return maxmin_fill_fast(
+            ctx.srcs, ctx.dsts + ctx.fabric.n_ports, res, weights=weights
         )

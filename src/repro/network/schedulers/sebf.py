@@ -24,3 +24,7 @@ class SEBFScheduler(OrderedCoflowScheduler):
 
     def priority_key(self, ctx: SchedulingContext, coflow_id: int) -> tuple:
         return (ctx.remaining_bottleneck(coflow_id),)
+
+    def priority_keys(self, ctx: SchedulingContext) -> dict[int, tuple]:
+        cids = ctx.active_coflow_ids()
+        return {c: (g,) for c, g in zip(cids, ctx.remaining_bottlenecks())}

@@ -16,7 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.events import SchedulingContext
-from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
+from repro.network.schedulers.base import (
+    CoflowScheduler,
+    maxmin_fill_fast,
+    maxmin_fill_reference,
+)
 
 __all__ = ["WSSScheduler"]
 
@@ -28,13 +32,58 @@ class WSSScheduler(CoflowScheduler):
 
     def allocate(self, ctx: SchedulingContext) -> np.ndarray:
         rates = np.zeros(ctx.n_flows)
-        res_out = ctx.fabric.egress_rates.copy()
-        res_in = ctx.fabric.ingress_rates.copy()
-        n = ctx.fabric.n_ports
         order = sorted(
             ctx.active_coflow_ids(),
             key=lambda c: (ctx.progress[c].arrival_time, c),
         )
+        if ctx.groups is None:
+            return self._allocate_reference(ctx, order, rates)
+        # Combined-residual fast path: one bincount/divide/min per coflow
+        # over the concatenated egress+ingress vector.  Each cell still
+        # accumulates its flows in order and ``min`` over the combined
+        # shares equals ``min(out_min, in_min)``, so the alphas -- and
+        # allocations -- match the reference bit-for-bit.
+        dsts_off = ctx.dsts + ctx.fabric.n_ports
+        res = np.concatenate(
+            (ctx.fabric.egress_rates, ctx.fabric.ingress_rates)
+        )
+        two_n = res.shape[0]
+        share = np.empty(two_n)
+        for cid in order:
+            idx = ctx.flows_of(cid)
+            weights = ctx.remaining[idx]
+            total = weights.sum()
+            if total <= 0:
+                continue
+            port = np.concatenate((ctx.srcs[idx], dsts_off[idx]))
+            load = np.bincount(
+                port, weights=np.concatenate((weights, weights)),
+                minlength=two_n,
+            )
+            busy = load > 0
+            share.fill(np.inf)
+            np.divide(res, load, out=share, where=busy)
+            alpha = share.min()
+            if not np.isfinite(alpha) or alpha <= 0:
+                continue
+            alloc = alpha * weights
+            rates[idx] += alloc
+            res -= np.bincount(
+                port, weights=np.concatenate((alloc, alloc)),
+                minlength=two_n,
+            )
+            np.maximum(res, 0.0, out=res)
+        # Work conservation: spread any leftover bandwidth.
+        maxmin_fill_fast(ctx.srcs, dsts_off, res, rates=rates)
+        return rates
+
+    def _allocate_reference(
+        self, ctx: SchedulingContext, order: list[int], rates: np.ndarray
+    ) -> np.ndarray:
+        """Original split-residual implementation (reference path)."""
+        res_out = ctx.fabric.egress_rates.copy()
+        res_in = ctx.fabric.ingress_rates.copy()
+        n = ctx.fabric.n_ports
         for cid in order:
             idx = ctx.flows_of(cid)
             weights = ctx.remaining[idx]
@@ -58,5 +107,5 @@ class WSSScheduler(CoflowScheduler):
             np.maximum(res_out, 0.0, out=res_out)
             np.maximum(res_in, 0.0, out=res_in)
         # Work conservation: spread any leftover bandwidth.
-        maxmin_fill(ctx.srcs, ctx.dsts, res_out, res_in, rates=rates)
+        maxmin_fill_reference(ctx.srcs, ctx.dsts, res_out, res_in, rates=rates)
         return rates

@@ -21,6 +21,7 @@ recorded in the structured failure log on :class:`SimulationResult`.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
@@ -30,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> network)
     from repro.core.noise import NoisyEstimates
 
 from repro.network.dynamics import FabricDynamics
-from repro.network.events import CoflowProgress, SchedulingContext
+from repro.network.events import CoflowProgress, FlowGroups, SchedulingContext
 from repro.network.fabric import Fabric
 from repro.network.flow import Coflow
 from repro.network.recovery import (
@@ -51,6 +52,20 @@ _VOLUME_EPS = 1e-6
 #: censored flows report "size unknown" as this near-zero value, and a
 #: strictly positive view keeps every discipline's allocation well-defined.
 _ESTIMATE_FLOOR = 1e-6
+
+
+def _arrival_slack(t: float) -> float:
+    """Admission tolerance at simulation time ``t``.
+
+    The epoch clock accumulates ``t += dt`` rounding error, so a coflow
+    arriving exactly at an epoch boundary can find ``t`` a few ULP short
+    of its arrival time.  A fixed absolute epsilon (the old ``1e-15``)
+    falls below one ULP once ``t`` exceeds ~4.5 -- at large simulated
+    times (arrivals of 1e9 and beyond) boundary arrivals were admitted an
+    epoch late.  The slack therefore scales with the float spacing at
+    ``t`` while keeping the absolute floor for times near zero.
+    """
+    return max(1e-15, 4.0 * float(np.spacing(abs(t))))
 
 
 @dataclass
@@ -88,6 +103,10 @@ class SimulationResult:
         Coflows that never completed because the recovery policy aborted
         them (or they were unrecoverable), mapped to the abort time.
         These carry no CCT and are excluded from ``average_cct``.
+    n_epochs:
+        Number of epoch-loop iterations the run executed.  Unlike
+        ``epochs`` it is always recorded (no timeline memory cost) --
+        the hot-path benchmark divides it by wall time for epochs/sec.
     """
 
     completion_times: dict[int, float]
@@ -97,6 +116,7 @@ class SimulationResult:
     epochs: list[Epoch] = field(default_factory=list)
     failures: list[FailureRecord] = field(default_factory=list)
     failed_coflows: dict[int, float] = field(default_factory=dict)
+    n_epochs: int = 0
 
     @property
     def average_cct(self) -> float:
@@ -167,6 +187,16 @@ class CoflowSimulator:
         how much schedule quality a discipline loses to inaccurate flow
         information -- non-clairvoyant disciplines (D-CLAS) are immune by
         construction.
+    incremental:
+        When True (default) the epoch loop runs its vectorized hot path:
+        per-coflow flow groups are cached across epochs (rebuilt only
+        when the active-flow set changes), the scheduler receives that
+        cache through ``SchedulingContext.groups``, and the noise view
+        multiplies a flow-aligned factor column instead of looping per
+        flow.  When False the original per-flow/per-mask reference path
+        runs instead.  Both paths are bit-identical by construction --
+        the equivalence is pinned by property tests and re-checked by
+        the ``ccf bench`` harness, which times one against the other.
 
     Examples
     --------
@@ -190,12 +220,14 @@ class CoflowSimulator:
         dynamics: "FabricDynamics | None" = None,
         recovery: "RecoveryPolicy | str | None" = None,
         estimate_noise: "NoisyEstimates | None" = None,
+        incremental: bool = True,
     ) -> None:
         self.fabric = fabric
         self.scheduler = scheduler
         self.record_timeline = record_timeline
         self.max_epochs = max_epochs
         self.dynamics = dynamics
+        self.incremental = incremental
         self.estimate_noise = (
             None
             if estimate_noise is None or estimate_noise.is_null
@@ -284,7 +316,13 @@ class CoflowSimulator:
             )
             for c in coflows
         }
-        pending = sorted(coflows, key=lambda c: (c.arrival_time, c.coflow_id))
+        # Min-heap on (arrival, id): O(log n) admission instead of the
+        # O(n) ``pop(0)`` + full re-sort the list queue needed.  Ids are
+        # unique, so the Coflow payload never gets compared.
+        pending: list[tuple[float, int, Coflow]] = [
+            (c.arrival_time, c.coflow_id, c) for c in coflows
+        ]
+        heapq.heapify(pending)
         total_bytes = float(sum(c.total_volume for c in coflows))
         known_ids = {c.coflow_id for c in coflows}
 
@@ -320,8 +358,7 @@ class CoflowSimulator:
                     weight=c.weight,
                 )
                 total_bytes += c.total_volume
-                pending.append(c)
-            pending.sort(key=lambda c: (c.arrival_time, c.coflow_id))
+                heapq.heappush(pending, (c.arrival_time, c.coflow_id, c))
 
         def inject_after(cid: int, now: float) -> None:
             """Admit the injector's new coflows for a completed one."""
@@ -336,27 +373,70 @@ class CoflowSimulator:
                 admit(on_abort(cid, now), now)
 
         fl = ActiveFlows.empty()
+        incremental = self.incremental
 
         noise = self.estimate_noise
-        noise_factors: dict[tuple[int, int, int], float] = {}
+        # Factors are memoized per coflow so a whole coflow's entries can
+        # be evicted in O(1) when it completes or aborts -- the old flat
+        # ``(cid, src, dst)`` dict grew without bound over the run.
+        noise_factors: dict[int, dict[tuple[int, int], float]] = {}
+        # Debug/test handle: lets callers verify entries are evicted as
+        # coflows leave the system instead of accumulating over the run.
+        self._noise_factors = noise_factors
+        if noise is not None and incremental:
+            # Activate the flow-aligned factor column; rows appended by
+            # the recovery layer arrive as NaN and are filled lazily.
+            fl.view_factor = np.empty(0)
+
+        def flow_noise_factor(cid: int, src: int, dst: int) -> float:
+            per = noise_factors.get(cid)
+            if per is None:
+                per = noise_factors[cid] = {}
+            factor = per.get((src, dst))
+            if factor is None:
+                factor = noise.flow_factor(cid, src, dst)
+                per[(src, dst)] = factor
+            return factor
 
         def scheduler_view(flows: ActiveFlows) -> np.ndarray:
             """Remaining volumes as the discipline sees them (maybe noisy)."""
             if noise is None:
                 return flows.remaining
-            out = np.empty(flows.size)
-            for i in range(flows.size):
-                key = (
-                    int(flows.cids[i]),
-                    int(flows.srcs[i]),
-                    int(flows.dsts[i]),
-                )
-                factor = noise_factors.get(key)
-                if factor is None:
-                    factor = noise.flow_factor(*key)
-                    noise_factors[key] = factor
-                out[i] = flows.remaining[i] * factor
+            vf = flows.view_factor
+            if vf is not None:
+                # Vectorized path: one multiply over the cached factor
+                # column; only rows the recovery layer appended since the
+                # last epoch (NaN sentinel) hit the per-flow memo.
+                missing = np.isnan(vf)
+                if missing.any():
+                    for i in np.flatnonzero(missing):
+                        vf[i] = flow_noise_factor(
+                            int(flows.cids[i]),
+                            int(flows.srcs[i]),
+                            int(flows.dsts[i]),
+                        )
+                out = flows.remaining * vf
+            else:
+                out = np.empty(flows.size)
+                for i in range(flows.size):
+                    out[i] = flows.remaining[i] * flow_noise_factor(
+                        int(flows.cids[i]),
+                        int(flows.srcs[i]),
+                        int(flows.dsts[i]),
+                    )
             return np.maximum(out, _ESTIMATE_FLOOR)
+
+        # FlowGroups cache: the grouping only depends on flow identity, so
+        # it survives every epoch that neither appends nor removes flows.
+        groups_cache: FlowGroups | None = None
+        groups_version: int = -1
+
+        def current_groups() -> FlowGroups:
+            nonlocal groups_cache, groups_version
+            if groups_cache is None or groups_version != fl.version:
+                groups_cache = FlowGroups(fl.cids)
+                groups_version = fl.version
+            return groups_cache
 
         t = 0.0
         epochs: list[Epoch] = []
@@ -365,24 +445,49 @@ class CoflowSimulator:
         def complete(cid: int, now: float) -> None:
             completion[cid] = now
             progress[cid].completion_time = now
+            noise_factors.pop(cid, None)
             inject_after(cid, now)
 
+        n_epochs = 0
         for _ in range(self.max_epochs):
-            # Admit coflows that have arrived.
-            while pending and pending[0].arrival_time <= t + 1e-15:
-                cf = pending.pop(0)
+            n_epochs += 1
+            # Admit coflows that have arrived.  The tolerance scales with
+            # the ULP at ``t`` so boundary arrivals are admitted on time
+            # even at large simulation clocks (see :func:`_arrival_slack`).
+            slack = _arrival_slack(t)
+            while pending and pending[0][0] <= t + slack:
+                _, _, cf = heapq.heappop(pending)
                 if cf.width == 0:
                     # Degenerate coflow with no network flows completes instantly.
                     complete(cf.coflow_id, max(t, cf.arrival_time))
                     continue
-                vols = np.array([f.volume for f in cf.flows], dtype=float)
+                srcs_a, dsts_a, vols_a = cf.flow_arrays()
+                if float(vols_a.max()) <= _VOLUME_EPS:
+                    # Every flow is below the completion epsilon: the first
+                    # epoch would drop them all without draining a byte, so
+                    # treat the coflow like width == 0 and finish it now
+                    # instead of letting it linger one epoch at zero rate.
+                    complete(cf.coflow_id, max(t, cf.arrival_time))
+                    continue
+                factors = None
+                if fl.view_factor is not None:
+                    factors = np.array(
+                        [
+                            flow_noise_factor(cf.coflow_id, int(s), int(d))
+                            for s, d in zip(srcs_a, dsts_a)
+                        ],
+                        dtype=float,
+                    )
+                # ``ActiveFlows.append`` concatenates (always copies), so
+                # handing it the coflow's cached arrays is aliasing-safe.
                 fl.append(
-                    srcs=np.array([f.src for f in cf.flows]),
-                    dsts=np.array([f.dst for f in cf.flows]),
-                    remaining=vols.copy(),
-                    volume0=vols.copy(),
+                    srcs=srcs_a,
+                    dsts=dsts_a,
+                    remaining=vols_a,
+                    volume0=vols_a,
                     attempts=np.zeros(cf.width, dtype=np.int64),
                     cids=np.full(cf.width, cf.coflow_id),
+                    view_factor=factors,
                 )
 
             changed = False
@@ -395,6 +500,8 @@ class CoflowSimulator:
                 changed or recovery.any_dead(fabric) or recovery.has_suspended
             ):
                 aborted, local = recovery.step(fabric, t, fl, progress)
+                for cid in aborted:
+                    noise_factors.pop(cid, None)
                 resubmit_after(aborted, t)
                 for cid in local:
                     # Replan kept the chunk on its source: if that was the
@@ -410,7 +517,7 @@ class CoflowSimulator:
             if fl.size == 0:
                 waits = []
                 if pending:
-                    waits.append(pending[0].arrival_time)
+                    waits.append(pending[0][0])
                 if dynamics is not None:
                     nxt = dynamics.next_event_time(t)
                     if nxt is not None:
@@ -425,6 +532,8 @@ class CoflowSimulator:
                 if recovery is not None and recovery.has_suspended:
                     # Parked flows with no recovery event ever coming.
                     aborted = recovery.abort_unrecoverable(t)
+                    for cid in aborted:
+                        noise_factors.pop(cid, None)
                     resubmit_after(aborted, t)
                     if pending:
                         continue
@@ -438,6 +547,7 @@ class CoflowSimulator:
                 remaining=scheduler_view(fl),
                 coflow_ids=fl.cids,
                 progress=progress,
+                groups=current_groups() if incremental else None,
             )
             rates = np.asarray(self.scheduler.allocate(ctx), dtype=float)
             if rates.shape != fl.srcs.shape:
@@ -453,9 +563,7 @@ class CoflowSimulator:
                 )
             else:
                 dt_complete = np.inf
-            dt_arrival = (
-                pending[0].arrival_time - t if pending else np.inf
-            )
+            dt_arrival = pending[0][0] - t if pending else np.inf
             dt = min(dt_complete, dt_arrival)
             hint = self.scheduler.next_event_hint(ctx, rates)
             if hint is not None and hint > 1e-12:
@@ -488,10 +596,16 @@ class CoflowSimulator:
             # Drain volumes and credit attained service per coflow.
             delivered = rates * dt
             fl.remaining = fl.remaining - delivered
-            for cid in np.unique(fl.cids):
-                progress[int(cid)].sent_bytes += float(
-                    delivered[fl.cids == cid].sum()
-                )
+            if incremental:
+                g = current_groups()
+                sums = g.value_sums(delivered)
+                for gi, cid in enumerate(g.unique_cids):
+                    progress[int(cid)].sent_bytes += sums[gi]
+            else:
+                for cid in np.unique(fl.cids):
+                    progress[int(cid)].sent_bytes += float(
+                        delivered[fl.cids == cid].sum()
+                    )
             t += dt
 
             done = fl.remaining <= _VOLUME_EPS
@@ -501,15 +615,26 @@ class CoflowSimulator:
                     if recovery is not None
                     else set()
                 )
-                for cid in np.unique(fl.cids[done]):
-                    cid = int(cid)
-                    if (~done & (fl.cids == cid)).any():
-                        continue
-                    if cid in suspended_cids:
-                        # Other flows of this coflow are parked on a dead
-                        # port; the coflow is not finished yet.
-                        continue
-                    complete(cid, t)
+                if incremental:
+                    g = current_groups()
+                    complete_mask = g.all_done_mask(done)
+                    for gi in np.flatnonzero(complete_mask):
+                        cid = int(g.unique_cids[gi])
+                        if cid in suspended_cids:
+                            # Other flows of this coflow are parked on a
+                            # dead port; the coflow is not finished yet.
+                            continue
+                        complete(cid, t)
+                else:
+                    for cid in np.unique(fl.cids[done]):
+                        cid = int(cid)
+                        if (~done & (fl.cids == cid)).any():
+                            continue
+                        if cid in suspended_cids:
+                            # Other flows of this coflow are parked on a
+                            # dead port; the coflow is not finished yet.
+                            continue
+                        complete(cid, t)
                 # Flows of incomplete coflows that drained to zero are
                 # removed either way; parked siblings keep the coflow open.
                 fl.keep(~done)
@@ -530,6 +655,7 @@ class CoflowSimulator:
             failed_coflows=(
                 dict(recovery.failed_coflows) if recovery is not None else {}
             ),
+            n_epochs=n_epochs,
         )
 
     @staticmethod

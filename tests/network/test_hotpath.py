@@ -1,0 +1,269 @@
+"""Regression tests for the vectorized epoch loop and its bugfixes.
+
+Covers the epoch-loop defects fixed alongside the hot-path rewrite:
+
+- the noise-factor memo is evicted when coflows complete or abort
+  (previously it grew without bound over the run);
+- arrival admission uses a ULP-scaled slack, so coflows arriving at
+  large simulation clocks (>= 1e9 s) are admitted on time (the old
+  absolute ``1e-15`` epsilon falls below one float spacing there);
+- a coflow whose flows all carry volume below the completion epsilon
+  finishes instantly on admission (CCT exactly 0), like ``width == 0``;
+
+plus exact-equality checks of the combined-port / scalar scheduler
+kernels against the reference implementations they replace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.noise import NoisyEstimates
+from repro.network import CoflowSimulator, Fabric
+from repro.network.dynamics import FabricDynamics, RateEvent
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.schedulers.base import (
+    madd_rates_fast,
+    madd_rates_reference,
+    maxmin_fill_fast,
+    maxmin_fill_reference,
+)
+
+
+def _mix(n=12, n_ports=6, base=0.0, step=0.375):
+    # ``step`` is dyadic so ``base + i * step`` is exact even at
+    # ``base = 1e9`` -- the shifted workload is the same workload.
+    """Small deterministic workload with staggered arrivals."""
+    rng = np.random.default_rng(5)
+    out = []
+    for i in range(n):
+        width = int(rng.integers(1, 5))
+        flows = []
+        for _ in range(width):
+            s = int(rng.integers(0, n_ports))
+            d = int(rng.integers(0, n_ports - 1))
+            if d >= s:
+                d += 1
+            flows.append(Flow(s, d, float(rng.uniform(0.5, 4.0))))
+        out.append(
+            Coflow(flows=flows, arrival_time=base + i * step, coflow_id=i)
+        )
+    return out
+
+
+class TestNoiseMemoEviction:
+    def test_memo_empty_after_clean_run(self):
+        sim = CoflowSimulator(
+            Fabric(n_ports=6, rate=1.0),
+            make_scheduler("sebf"),
+            estimate_noise=NoisyEstimates(sigma=0.4, seed=3),
+        )
+        res = sim.run(_mix())
+        assert len(res.ccts) == 12
+        # Every coflow completed, so every memo entry must be gone.
+        assert sim._noise_factors == {}
+
+    def test_memo_evicted_on_abort(self):
+        dyn = FabricDynamics([RateEvent.failure(0.5, 0)])
+        sim = CoflowSimulator(
+            Fabric(n_ports=6, rate=1.0),
+            make_scheduler("sebf"),
+            dynamics=dyn,
+            recovery="abort",
+            estimate_noise=NoisyEstimates(sigma=0.4, seed=3),
+        )
+        res = sim.run(_mix())
+        assert res.failed_coflows  # the scenario really aborts someone
+        assert sim._noise_factors == {}
+
+    def test_memo_evicted_reference_path_too(self):
+        sim = CoflowSimulator(
+            Fabric(n_ports=6, rate=1.0),
+            make_scheduler("sebf"),
+            estimate_noise=NoisyEstimates(sigma=0.4, seed=3),
+            incremental=False,
+        )
+        sim.run(_mix())
+        assert sim._noise_factors == {}
+
+
+class TestArrivalSlackAtLargeClock:
+    """Admission must not depend on the absolute simulation clock."""
+
+    @pytest.mark.parametrize("scheduler", ["sebf", "fair", "dclas"])
+    def test_run_is_clock_shift_invariant(self, scheduler):
+        near = CoflowSimulator(
+            Fabric(n_ports=6, rate=1.0), make_scheduler(scheduler)
+        ).run(_mix(base=0.0))
+        far = CoflowSimulator(
+            Fabric(n_ports=6, rate=1.0), make_scheduler(scheduler)
+        ).run(_mix(base=1e9))
+        # The shifted run must look time-shifted, not structurally
+        # different: same CCTs (up to clock-granularity rounding) and
+        # at most one epoch of boundary-merge difference.
+        assert abs(far.n_epochs - near.n_epochs) <= 1
+        for cid, cct in near.ccts.items():
+            assert far.ccts[cid] == pytest.approx(cct, rel=1e-6, abs=1e-5)
+
+    @pytest.mark.parametrize("base", [0.0, 1e6, 1e9])
+    def test_boundary_arrivals_spawn_no_dust_epochs(self, base):
+        # Each coflow arrives exactly when its predecessor finishes; the
+        # volume 1/3 makes every boundary a rounding victim.  With the
+        # old absolute 1e-15 slack, the epoch clock lands a few ULP
+        # short of the arrival once ULP(t) > 1e-15 (t > ~4.5) and each
+        # missed boundary costs an extra sub-ULP epoch (53 epochs for 50
+        # coflows at base 0).  The relative slack admits each arrival in
+        # its boundary epoch.
+        n, v = 50, 1.0 / 3.0
+        cfs = [
+            Coflow([Flow(0, 1, v)], arrival_time=base + i * v, coflow_id=i)
+            for i in range(n)
+        ]
+        res = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), make_scheduler("sebf")
+        ).run(cfs)
+        assert len(res.ccts) == n
+        assert res.n_epochs <= n + 2
+
+    def test_boundary_arrival_admitted_on_time(self):
+        # Second coflow arrives exactly when the first finishes; at a
+        # large clock the epoch boundary lands within a few ULP of the
+        # arrival and must still admit it immediately.
+        base = 1e9
+        cfs = [
+            Coflow([Flow(0, 1, 2.0)], arrival_time=base, coflow_id=0),
+            Coflow([Flow(0, 1, 1.0)], arrival_time=base + 2.0, coflow_id=1),
+        ]
+        res = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), make_scheduler("sebf")
+        ).run(cfs)
+        assert res.ccts[1] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSubEpsilonCoflow:
+    def test_all_dust_flows_complete_instantly(self):
+        cfs = [
+            Coflow(
+                [Flow(0, 1, 1e-9), Flow(2, 3, 5e-7)],
+                arrival_time=1.0,
+                coflow_id=0,
+            ),
+            Coflow([Flow(0, 1, 4.0)], arrival_time=0.0, coflow_id=1),
+        ]
+        res = CoflowSimulator(
+            Fabric(n_ports=4, rate=1.0), make_scheduler("sebf")
+        ).run(cfs)
+        # Pinned: the dust coflow's CCT is exactly zero -- it must not
+        # linger an epoch at zero rate waiting for the drop pass.
+        assert res.ccts[0] == 0.0
+        assert res.completion_times[0] == 1.0
+        assert res.ccts[1] == pytest.approx(4.0)
+
+    def test_dust_coflow_alone(self):
+        cfs = [
+            Coflow([Flow(0, 1, 1e-8)], arrival_time=0.0, coflow_id=7),
+        ]
+        res = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), make_scheduler("fair")
+        ).run(cfs)
+        assert res.ccts[7] == 0.0
+        # The admission pass completes it before any rate allocation, so
+        # at most the single (empty) bookkeeping epoch runs.
+        assert res.n_epochs <= 1
+
+    def test_width_zero_still_instant(self):
+        cfs = [Coflow([], arrival_time=2.0, coflow_id=3)]
+        res = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), make_scheduler("sebf")
+        ).run(cfs)
+        assert res.ccts[3] == 0.0
+
+
+def _random_case(rng, n_flows, n_ports):
+    srcs = rng.integers(0, n_ports, size=n_flows)
+    dsts = rng.integers(0, n_ports, size=n_flows)
+    remaining = rng.uniform(0.1, 10.0, size=n_flows)
+    res_out = rng.uniform(0.2, 2.0, size=n_ports)
+    res_in = rng.uniform(0.2, 2.0, size=n_ports)
+    return srcs, dsts, remaining, res_out, res_in
+
+
+class TestKernelEquivalence:
+    """Fast kernels must reproduce the reference floats exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_maxmin_full(self, seed, weighted):
+        rng = np.random.default_rng(seed)
+        srcs, dsts, _, res_out, res_in = _random_case(rng, 40, 7)
+        weights = rng.uniform(0.5, 3.0, size=40) if weighted else None
+        ref = maxmin_fill_reference(
+            srcs, dsts, res_out.copy(), res_in.copy(), weights=weights
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        fast = maxmin_fill_fast(srcs, dsts + 7, res, weights=weights)
+        assert (ref == fast).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("size", [1, 3, 9, 33])
+    def test_maxmin_subset_scalar_and_array(self, seed, size):
+        """Covers both the scalar (<= threshold) and array subset paths."""
+        rng = np.random.default_rng(100 + seed)
+        srcs, dsts, _, res_out, res_in = _random_case(rng, 40, 7)
+        subset = np.sort(
+            rng.choice(40, size=min(size, 40), replace=False)
+        )
+        ref = maxmin_fill_reference(
+            srcs, dsts, res_out.copy(), res_in.copy(), subset=subset
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        fast = maxmin_fill_fast(
+            srcs, dsts + 7, res, subset=subset, zero_rates=True
+        )
+        assert (ref == fast).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_maxmin_nonzero_rates_backfill(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        srcs, dsts, _, res_out, res_in = _random_case(rng, 30, 6)
+        rates0 = rng.uniform(0.0, 0.3, size=30)
+        ref = maxmin_fill_reference(
+            srcs, dsts, res_out.copy(), res_in.copy(), rates=rates0.copy()
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        fast = maxmin_fill_fast(srcs, dsts + 6, res, rates=rates0.copy())
+        assert (ref == fast).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("size", [1, 2, 4, 6, 20])
+    def test_madd_scalar_and_array(self, seed, size):
+        """Covers the scalar (<= 4) and array MADD paths, incl. blocked."""
+        rng = np.random.default_rng(300 + seed)
+        srcs, dsts, remaining, res_out, res_in = _random_case(rng, 40, 7)
+        if seed % 2:
+            res_out[int(srcs[0])] = 0.0  # force a blocked port sometimes
+        subset = np.sort(rng.choice(40, size=size, replace=False))
+        rates_ref = np.zeros(40)
+        ok_ref = madd_rates_reference(
+            srcs, dsts, remaining, res_out.copy(), res_in.copy(),
+            subset, rates_ref,
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        rates_fast = np.zeros(40)
+        ok_fast = madd_rates_fast(
+            srcs, dsts + 7, remaining, res, subset, rates_fast
+        )
+        assert ok_ref == ok_fast
+        assert (rates_ref == rates_fast).all()
+
+    def test_madd_residual_consumption_matches(self):
+        rng = np.random.default_rng(9)
+        srcs, dsts, remaining, res_out, res_in = _random_case(rng, 20, 5)
+        subset = np.arange(3)  # scalar path
+        ro, ri = res_out.copy(), res_in.copy()
+        madd_rates_reference(
+            srcs, dsts, remaining, ro, ri, subset, np.zeros(20)
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        madd_rates_fast(srcs, dsts + 5, remaining, res, subset, np.zeros(20))
+        assert (res[:5] == ro).all() and (res[5:] == ri).all()

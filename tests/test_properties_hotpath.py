@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) pinning the hot-path rewrite.
+
+The vectorized epoch loop (``incremental=True``) must be a pure
+performance change: across random fabrics, workloads, noise seeds and
+chaos schedules it has to produce the *bit-identical*
+``SimulationResult`` of the reference path -- same CCT floats, same
+epoch count, same failure log -- and the rewritten scheduler kernels
+must return the exact floats of the reference implementations for any
+input shape (full set, subsets above and below the scalar threshold,
+weighted fills, blocked MADD ports).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.noise import NoisyEstimates
+from repro.network import CoflowSimulator, Fabric
+from repro.network.dynamics import FabricDynamics, RateEvent
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.schedulers.base import (
+    madd_rates_fast,
+    madd_rates_reference,
+    maxmin_fill_fast,
+    maxmin_fill_reference,
+)
+
+SCHEDULERS = ("sebf", "dclas", "fair", "wss", "fifo", "scf", "ncf")
+
+
+@st.composite
+def workloads(draw):
+    """A small random fabric + coflow set with staggered arrivals."""
+    n_ports = draw(st.integers(3, 6))
+    n_coflows = draw(st.integers(2, 8))
+    coflows = []
+    for cid in range(n_coflows):
+        width = draw(st.integers(1, 4))
+        flows = []
+        for _ in range(width):
+            src = draw(st.integers(0, n_ports - 1))
+            dst = draw(st.integers(0, n_ports - 2))
+            if dst >= src:
+                dst += 1
+            vol = draw(
+                st.floats(0.01, 20.0, allow_nan=False, allow_infinity=False)
+            )
+            flows.append(Flow(src, dst, vol))
+        arrival = draw(st.floats(0.0, 10.0, allow_nan=False))
+        coflows.append(
+            Coflow(flows=flows, arrival_time=arrival, coflow_id=cid)
+        )
+    return n_ports, coflows
+
+
+def _fingerprint(result):
+    return (
+        tuple(sorted(result.ccts.items())),
+        tuple(sorted(result.completion_times.items())),
+        result.n_epochs,
+        tuple(sorted(result.failed_coflows)),
+        tuple((r.kind, r.time, r.flows) for r in result.failures),
+    )
+
+
+def _run(n_ports, coflows, scheduler, *, incremental, dynamics=None,
+         recovery=None, noise=None):
+    sim = CoflowSimulator(
+        Fabric(n_ports=n_ports, rate=1.0),
+        make_scheduler(scheduler),
+        dynamics=dynamics,
+        recovery=recovery,
+        estimate_noise=noise,
+        incremental=incremental,
+    )
+    return sim.run([Coflow(list(c.flows), c.arrival_time, c.coflow_id)
+                    for c in coflows])
+
+
+class TestIncrementalBitIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(workloads(), st.sampled_from(SCHEDULERS))
+    def test_plain(self, wl, scheduler):
+        n_ports, coflows = wl
+        ref = _run(n_ports, coflows, scheduler, incremental=False)
+        inc = _run(n_ports, coflows, scheduler, incremental=True)
+        assert _fingerprint(ref) == _fingerprint(inc)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workloads(),
+        st.sampled_from(("sebf", "dclas", "fair")),
+        st.integers(0, 2 ** 16),
+        st.floats(0.05, 0.6),
+        st.floats(0.0, 0.3),
+    )
+    def test_noisy_estimates(self, wl, scheduler, seed, sigma, censor):
+        n_ports, coflows = wl
+        noise = dict(sigma=sigma, censor_fraction=censor, seed=seed)
+        ref = _run(
+            n_ports, coflows, scheduler,
+            incremental=False, noise=NoisyEstimates(**noise),
+        )
+        inc = _run(
+            n_ports, coflows, scheduler,
+            incremental=True, noise=NoisyEstimates(**noise),
+        )
+        assert _fingerprint(ref) == _fingerprint(inc)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workloads(),
+        st.sampled_from(("sebf", "fair", "wss")),
+        st.integers(0, 2),
+        st.floats(0.5, 20.0),
+        st.floats(1.0, 30.0),
+        st.sampled_from(("retry", "replan", "abort")),
+    )
+    def test_chaos_schedule(
+        self, wl, scheduler, port, fail_at, downtime, policy
+    ):
+        n_ports, coflows = wl
+        events = [
+            RateEvent.failure(fail_at, port),
+            RateEvent.recovery(
+                fail_at + downtime, port, egress=1.0, ingress=1.0
+            ),
+        ]
+        ref = _run(
+            n_ports, coflows, scheduler, incremental=False,
+            dynamics=FabricDynamics(list(events)), recovery=policy,
+        )
+        inc = _run(
+            n_ports, coflows, scheduler, incremental=True,
+            dynamics=FabricDynamics(list(events)), recovery=policy,
+        )
+        assert _fingerprint(ref) == _fingerprint(inc)
+
+
+@st.composite
+def kernel_cases(draw):
+    n_ports = draw(st.integers(2, 8))
+    n_flows = draw(st.integers(1, 50))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 16)))
+    srcs = rng.integers(0, n_ports, size=n_flows)
+    dsts = rng.integers(0, n_ports, size=n_flows)
+    remaining = rng.uniform(1e-3, 10.0, size=n_flows)
+    res_out = rng.uniform(0.0, 2.0, size=n_ports)
+    res_in = rng.uniform(0.0, 2.0, size=n_ports)
+    k = draw(st.integers(1, n_flows))
+    subset = np.sort(rng.choice(n_flows, size=k, replace=False))
+    return n_ports, srcs, dsts, remaining, res_out, res_in, subset
+
+
+class TestKernelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(kernel_cases(), st.booleans())
+    def test_maxmin_subset_exact(self, case, use_subset):
+        n_ports, srcs, dsts, _, res_out, res_in, subset = case
+        sub = subset if use_subset else None
+        ref = maxmin_fill_reference(
+            srcs, dsts, res_out.copy(), res_in.copy(), subset=sub
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        fast = maxmin_fill_fast(
+            srcs, dsts + n_ports, res, subset=sub, zero_rates=True
+        )
+        assert (ref == fast).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(kernel_cases(), st.integers(0, 2 ** 16))
+    def test_maxmin_weighted_exact(self, case, wseed):
+        n_ports, srcs, dsts, _, res_out, res_in, subset = case
+        weights = np.random.default_rng(wseed).uniform(
+            0.1, 5.0, size=srcs.shape[0]
+        )
+        ref = maxmin_fill_reference(
+            srcs, dsts, res_out.copy(), res_in.copy(),
+            subset=subset, weights=weights,
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        fast = maxmin_fill_fast(
+            srcs, dsts + n_ports, res, subset=subset, weights=weights
+        )
+        assert (ref == fast).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(kernel_cases())
+    def test_madd_exact(self, case):
+        n_ports, srcs, dsts, remaining, res_out, res_in, subset = case
+        rates_ref = np.zeros(srcs.shape[0])
+        ok_ref = madd_rates_reference(
+            srcs, dsts, remaining, res_out.copy(), res_in.copy(),
+            subset, rates_ref,
+        )
+        res = np.concatenate((res_out.copy(), res_in.copy()))
+        rates_fast = np.zeros(srcs.shape[0])
+        ok_fast = madd_rates_fast(
+            srcs, dsts + n_ports, remaining, res, subset, rates_fast
+        )
+        assert ok_ref == ok_fast
+        assert (rates_ref == rates_fast).all()
