@@ -44,6 +44,7 @@ from repro.core import (
 )
 from repro.join import DistributedJoin, DistributedRelation, HashPartitioner
 from repro.network import Coflow, CoflowSimulator, Fabric, Flow
+from repro.obs import Instrumentation, Tracer
 from repro.workloads import AnalyticJoinWorkload, TPCHConfig, generate_tpch_relations
 
 __version__ = "1.0.0"
@@ -60,10 +61,12 @@ __all__ = [
     "Fabric",
     "Flow",
     "HashPartitioner",
+    "Instrumentation",
     "JobExecutor",
     "PlanComparison",
     "ShuffleModel",
     "TPCHConfig",
+    "Tracer",
     "ccf_exact",
     "ccf_heuristic",
     "generate_tpch_relations",

@@ -372,6 +372,7 @@ class DAGExecutor:
         dynamics: FabricDynamics | None = None,
         stage_policy: StagePolicy | str | None = None,
         noise: NoisyEstimates | float | None = None,
+        instrumentation=None,
     ) -> DAGResult:
         """Execute the DAG; returns per-stage timings and the makespan.
 
@@ -388,6 +389,13 @@ class DAGExecutor:
             computed on a perturbed model (seeded independently per
             stage) while execution uses the true volumes.  A bare float
             is shorthand for ``NoisyEstimates(sigma=...)``.
+        instrumentation:
+            Optional :class:`repro.obs.Instrumentation` sink.  It is
+            forwarded to the simulator (coflow lifecycle + epoch
+            samples) and additionally receives ``planner_phase`` events
+            (one per stage (re)plan, with wall-clock solve time) and
+            ``stage_attempt`` spans (submit -> complete/abort, per
+            attempt).
         """
         if isinstance(noise, (int, float)):
             noise = NoisyEstimates(sigma=float(noise))
@@ -413,6 +421,11 @@ class DAGExecutor:
         if len(dag) == 0:
             return result
         failure_aware = policy is not None
+        obs = (
+            instrumentation
+            if instrumentation is not None and instrumentation.enabled
+            else None
+        )
 
         models: dict[str, ShuffleModel] = {
             name: self.ccf.model_for(dag.stage(name).workload, strategy)
@@ -476,6 +489,10 @@ class DAGExecutor:
                 if not alive.all() and alive.any():
                     dest = replan_assignment(true_model, dest, alive)
             elapsed = _time.perf_counter() - start
+            if obs is not None:
+                obs.planner_phase(
+                    name, time=now, wall_s=elapsed, strategy=strategy
+                )
             return ExecutionPlan(
                 model=true_model,
                 dest=dest,
@@ -483,9 +500,12 @@ class DAGExecutor:
                 solve_seconds=elapsed,
             )
 
+        attempt_start: dict[int, float] = {}  # coflow id -> submit time
+
         def submit(name: str, at: float) -> Coflow:
             cid = next(ids)
             attempt_stage[cid] = name
+            attempt_start[cid] = at
             last_cid[name] = cid
             attempts[name] += 1
             started.setdefault(name, at)
@@ -500,6 +520,15 @@ class DAGExecutor:
         def injector(completed_id: int, now: float) -> list[Coflow]:
             name = attempt_stage[completed_id]
             finished.add(name)
+            if obs is not None:
+                obs.stage_attempt(
+                    name,
+                    attempts[name],
+                    start=attempt_start[completed_id],
+                    end=now,
+                    status="completed",
+                    coflow_id=completed_id,
+                )
             if job_failed:
                 return []
             out = []
@@ -552,6 +581,15 @@ class DAGExecutor:
         def on_abort(cid: int, now: float) -> list[Coflow]:
             nonlocal job_failed
             name = attempt_stage[cid]
+            if obs is not None:
+                obs.stage_attempt(
+                    name,
+                    attempts[name],
+                    start=attempt_start[cid],
+                    end=now,
+                    status="aborted",
+                    coflow_id=cid,
+                )
             if job_failed:
                 # A sibling already failed the job; this stage dies too.
                 failed_at.setdefault(name, now)
@@ -627,6 +665,7 @@ class DAGExecutor:
             dynamics=dynamics,
             recovery="abort" if failure_aware else None,
             estimate_noise=self.estimate_noise,
+            instrumentation=obs,
         )
         res = sim.run(
             initial,

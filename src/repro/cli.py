@@ -13,6 +13,10 @@ Examples
     $ ccf simulate plan.json --fail-port 0 --fail-at 1 --recover-at 5 \\
           --recovery replan
     $ ccf simulate plan.json --chaos-mtbf 3 --chaos-mttr 2 --recovery retry
+    $ ccf simulate plan.json --trace run.jsonl --timeline
+    $ ccf simulate plan.json --trace run.trace.json --trace-format chrome
+    $ ccf stats run.jsonl
+    $ ccf gantt --from-trace run.jsonl
 """
 
 from __future__ import annotations
@@ -166,6 +170,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--noise-seed", type=int, default=0,
         help="seed for the estimate-noise draws",
     )
+    simulate.add_argument(
+        "--timeline", action="store_true",
+        help="record the per-epoch timeline (SimulationResult.epochs is "
+        "otherwise empty; memory grows with epochs)",
+    )
+    simulate.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="capture the run's event stream and write it to PATH "
+        "(coflow lifecycle, epoch samples, port utilization, failures)",
+    )
+    simulate.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome", "prom"],
+        default="jsonl",
+        help="trace output format: JSONL event log (ccf stats / gantt "
+        "--from-trace), Chrome trace_event JSON (Perfetto), or a "
+        "Prometheus-style metrics dump",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarize a captured JSONL trace: CCT percentiles, per-port "
+        "bottleneck attribution, failure counts",
+    )
+    stats.add_argument("trace_file", type=str)
+    stats.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    stats.add_argument(
+        "--top-ports", type=int, default=5,
+        help="how many bottleneck ports to list (default 5)",
+    )
 
     report = sub.add_parser(
         "report", help="run a set of experiments and write a markdown report"
@@ -182,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--quick", action="store_true",
         help="reduced scale for the paper-figure sweeps",
+    )
+    report.add_argument(
+        "--from-trace", type=str, default=None, metavar="PATH",
+        help="append a trace-summary section (stats + Gantt) rendered "
+        "from a captured JSONL trace -- no re-simulation; with no "
+        "--experiments the report contains only that section",
     )
 
     verify = sub.add_parser(
@@ -219,25 +261,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON payload ('-' for stdout only)",
     )
     bench.add_argument(
-        "--repeats", type=int, default=1,
-        help="timing repeats per case (best wall time wins)",
+        "--repeats", type=int, default=3,
+        help="timing repeats per case, best wall time wins (default 3: "
+        "single draws make the speedup ratio too noisy to gate on)",
     )
     bench.add_argument(
         "--check", metavar="BASELINE", type=str, default=None,
-        help="compare epochs/sec against a committed BENCH_simulator.json "
-        "and exit non-zero on regression",
+        help="compare per-case speedups against a committed "
+        "BENCH_simulator.json and exit non-zero on regression",
     )
     bench.add_argument(
         "--tolerance", type=float, default=0.3,
-        help="allowed fractional epochs/sec drop vs the baseline "
+        help="allowed fractional speedup drop vs the baseline "
         "(default 0.3)",
     )
 
     gantt_cmd = sub.add_parser(
         "gantt",
-        help="simulate a coflow file and render an ASCII Gantt chart",
+        help="render an ASCII Gantt chart from a coflow file (simulates) "
+        "or from a captured JSONL trace (no re-simulation)",
     )
-    gantt_cmd.add_argument("coflow_file", type=str)
+    gantt_cmd.add_argument("coflow_file", type=str, nargs="?", default=None)
+    gantt_cmd.add_argument(
+        "--from-trace", type=str, default=None, metavar="PATH",
+        help="read a JSONL trace written by 'ccf simulate --trace' "
+        "instead of re-running the simulation",
+    )
     gantt_cmd.add_argument(
         "--scheduler",
         choices=["fair", "wss", "fifo", "scf", "ncf", "sebf", "dclas",
@@ -336,6 +385,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"invalid estimate noise: {exc}", file=sys.stderr)
             return 2
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer, repro_header
+
+        tracer = Tracer(
+            header=repro_header(
+                scheduler=args.scheduler,
+                fabric=fabric,
+                seed=args.chaos_seed if args.chaos_mtbf else None,
+                coflow_file=args.coflow_file,
+                recovery=args.recovery,
+                stage_policy=args.stage_policy,
+                estimate_noise=args.estimate_noise,
+                noise_seed=args.noise_seed if noise is not None else None,
+            )
+        )
+
     if args.stage_policy is not None:
         if args.recovery is not None:
             print(
@@ -351,7 +417,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _simulate_with_stage_policy(args, coflows, fabric, dynamics, noise)
+        return _simulate_with_stage_policy(
+            args, coflows, fabric, dynamics, noise, tracer
+        )
 
     if dynamics is not None and dynamics.has_failures and args.recovery is None:
         print(
@@ -367,6 +435,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         dynamics=dynamics,
         recovery=args.recovery,
         estimate_noise=noise,
+        record_timeline=args.timeline,
+        instrumentation=tracer,
     )
     res = sim.run(coflows)
     print(f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s")
@@ -375,6 +445,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     for cid in sorted(res.failed_coflows):
         print(f"  coflow {cid}: FAILED at t={res.failed_coflows[cid]:.3f} s")
     print(f"average CCT: {res.average_cct:.3f} s, makespan: {res.makespan:.3f} s")
+    if args.timeline:
+        print(f"epoch timeline: {len(res.epochs)} epochs recorded")
+    else:
+        print(
+            f"epoch timeline not recorded ({res.n_epochs} epochs ran; "
+            "pass --timeline to keep it)"
+        )
     if dynamics is not None:
         s = res.failure_summary()
         print(
@@ -383,10 +460,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{s['aborted_coflows']} coflows aborted, "
             f"{s['bytes_lost']:.3g} bytes lost"
         )
+    _write_trace(tracer, args)
     return 0 if not res.failed_coflows else 1
 
 
-def _simulate_with_stage_policy(args, coflows, fabric, dynamics, noise) -> int:
+def _write_trace(tracer, args: argparse.Namespace) -> None:
+    """Flush a captured trace to ``--trace`` in ``--trace-format``."""
+    if tracer is None:
+        return
+    from repro.obs import write_trace
+
+    write_trace(tracer, args.trace, args.trace_format)
+    print(
+        f"trace: {len(tracer.events)} events -> {args.trace} "
+        f"({args.trace_format})"
+    )
+
+
+def _simulate_with_stage_policy(
+    args, coflows, fabric, dynamics, noise, tracer=None
+) -> int:
     """Replay a coflow file with job-level (stage) fault tolerance.
 
     Each coflow becomes an independent stage of a :class:`JobDAG` with a
@@ -424,6 +517,7 @@ def _simulate_with_stage_policy(args, coflows, fabric, dynamics, noise) -> int:
         strategy="replay",
         dynamics=dynamics,
         stage_policy=args.stage_policy,
+        instrumentation=tracer,
     )
     print(
         f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s "
@@ -451,7 +545,27 @@ def _simulate_with_stage_policy(args, coflows, fabric, dynamics, noise) -> int:
         f"({int(summary['stage_replans'])} replanned), "
         f"{summary['bytes_lost']:.3g} bytes lost"
     )
+    _write_trace(tracer, args)
     return 0 if res.completed else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize a JSONL trace: CCTs, bottleneck ports, failures."""
+    import json
+
+    from repro.obs import read_jsonl, render_summary, summarize_trace
+
+    try:
+        header, events = read_jsonl(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events, header, top_k_ports=args.top_ports)
+    if args.json:
+        print(json.dumps(summary, indent=1))
+    else:
+        print(render_summary(summary))
+    return 0
 
 
 #: Experiments cheap enough for the default report.
@@ -471,9 +585,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     names = args.experiments
     if not names:
-        names = list(_QUICK_REPORT)
-        if args.quick:
-            names += ["fig5", "fig6", "fig7"]
+        if args.from_trace and args.experiments is None:
+            names = []  # trace-only report
+        else:
+            names = list(_QUICK_REPORT)
+            if args.quick:
+                names += ["fig5", "fig6", "fig7"]
     elif names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -496,9 +613,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else:
             table = run_experiment(name)
         sections += [f"## {name}", "", table.to_markdown(), ""]
+    if args.from_trace:
+        section = _trace_report_section(args.from_trace)
+        if section is None:
+            return 2
+        sections += section
     Path(args.out).write_text("\n".join(sections))
     print(f"report written to {args.out}")
     return 0
+
+
+def _trace_report_section(path: str) -> list[str] | None:
+    """Markdown section summarizing a captured JSONL trace."""
+    import json
+
+    from repro.network.visualize import gantt
+    from repro.obs import (
+        names_from_trace,
+        read_jsonl,
+        render_summary,
+        result_from_trace,
+        summarize_trace,
+    )
+
+    try:
+        header, events = read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {path}: {exc}", file=sys.stderr)
+        return None
+    summary = summarize_trace(events, header)
+    res = result_from_trace(events)
+    lines = [f"## Trace summary: `{path}`", ""]
+    if header:
+        lines += [
+            "Reproducibility header:",
+            "",
+            "```json",
+            json.dumps(header, indent=1),
+            "```",
+            "",
+        ]
+    lines += ["```", render_summary(summary), "```", ""]
+    if res.ccts or res.failed_coflows:
+        lines += [
+            "```",
+            gantt(res, names=names_from_trace(events)),
+            "```",
+            "",
+        ]
+    return lines
 
 
 def _cmd_trace_gen(args: argparse.Namespace) -> int:
@@ -583,12 +746,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_gantt(args: argparse.Namespace) -> int:
-    """Simulate a coflow JSON file and print the Gantt chart."""
+    """Print the Gantt chart: simulate a coflow file, or read a trace."""
+    from repro.network.visualize import gantt
+
+    if (args.coflow_file is None) == (args.from_trace is None):
+        print(
+            "gantt needs exactly one input: a coflow JSON file "
+            "(simulates) or --from-trace PATH (replays a capture)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.from_trace:
+        from repro.obs import names_from_trace, read_jsonl, result_from_trace
+
+        try:
+            header, events = read_jsonl(args.from_trace)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.from_trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        res = result_from_trace(events)
+        names = names_from_trace(events)
+        bits = [
+            f"{k}={header[k]}"
+            for k in ("scheduler", "version", "git")
+            if header.get(k) is not None
+        ]
+        print(f"trace {args.from_trace}: {len(names)} coflows"
+              + (f" ({'  '.join(bits)})" if bits else ""))
+        print(gantt(res, names=names, width=args.width))
+        return 0
+
     from repro.network.fabric import Fabric
     from repro.network.io import load_coflows
     from repro.network.schedulers import make_scheduler
     from repro.network.simulator import CoflowSimulator
-    from repro.network.visualize import gantt
 
     coflows = load_coflows(args.coflow_file)
     if not coflows:
@@ -623,6 +815,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _cmd_simulate(args)
+
+    if args.command == "stats":
+        return _cmd_stats(args)
 
     if args.command == "report":
         return _cmd_report(args)

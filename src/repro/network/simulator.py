@@ -42,6 +42,7 @@ from repro.network.recovery import (
     make_recovery_policy,
 )
 from repro.network.schedulers.base import CoflowScheduler
+from repro.obs.instrument import Instrumentation, MultiInstrumentation
 
 __all__ = ["CoflowSimulator", "SimulationResult", "Epoch"]
 
@@ -78,6 +79,32 @@ class Epoch:
     aggregate_rate: float
 
 
+class _TimelineCollector(Instrumentation):
+    """Builds ``SimulationResult.epochs`` from the epoch event stream.
+
+    The legacy ``record_timeline=True`` path is now just one more
+    consumer of the instrumentation stream: the simulator attaches this
+    collector (alongside any user-supplied sink) instead of maintaining
+    a bespoke parallel timeline.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epochs: list[Epoch] = []
+
+    def epoch(self, *, start, duration, active_flows, aggregate_rate,
+              detail=None):
+        self.epochs.append(
+            Epoch(
+                start=start,
+                duration=duration,
+                active_flows=active_flows,
+                aggregate_rate=aggregate_rate,
+            )
+        )
+
+
 @dataclass
 class SimulationResult:
     """Outcome of a simulation run.
@@ -94,7 +121,12 @@ class SimulationResult:
         Total input volume of all admitted coflows (re-transmissions after
         failures are not double-counted here; see ``bytes_lost``).
     epochs:
-        Per-epoch trace (only when the run recorded a timeline).
+        Per-epoch trace.  **Silently empty unless a timeline was
+        requested**: construct the simulator with
+        ``record_timeline=True`` (the ``ccf simulate`` flag is
+        ``--timeline``) or attach an instrumentation sink that records
+        epoch samples.  An empty list therefore means "not recorded",
+        not "zero epochs" -- ``n_epochs`` is always populated.
     failures:
         Structured failure log: port failures/recoveries and every
         recovery action taken (aborts, suspends, reroutes, resumes) with
@@ -172,7 +204,10 @@ class CoflowSimulator:
     scheduler:
         Inter-coflow scheduling discipline deciding per-epoch rates.
     record_timeline:
-        When True, keep an :class:`Epoch` trace (memory grows with epochs).
+        When True, keep an :class:`Epoch` trace on
+        ``SimulationResult.epochs`` (memory grows with epochs).  When
+        False (the default) ``epochs`` stays empty -- only ``n_epochs``
+        counts the iterations.
     dynamics:
         Optional schedule of mid-run port-rate changes (and failures).
     recovery:
@@ -197,6 +232,14 @@ class CoflowSimulator:
         runs instead.  Both paths are bit-identical by construction --
         the equivalence is pinned by property tests and re-checked by
         the ``ccf bench`` harness, which times one against the other.
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation` sink receiving the
+        run's event stream: coflow lifecycle transitions (submit ->
+        admit -> first-byte -> complete/abort), per-epoch samples and
+        every failure-log record.  Defaults to off; with no sink
+        attached the epoch loop pays one boolean test per emission site
+        and results are bit-identical to an uninstrumented run (pinned
+        by property tests and the bench gate).
 
     Examples
     --------
@@ -221,6 +264,7 @@ class CoflowSimulator:
         recovery: "RecoveryPolicy | str | None" = None,
         estimate_noise: "NoisyEstimates | None" = None,
         incremental: bool = True,
+        instrumentation: "Instrumentation | None" = None,
     ) -> None:
         self.fabric = fabric
         self.scheduler = scheduler
@@ -228,6 +272,11 @@ class CoflowSimulator:
         self.max_epochs = max_epochs
         self.dynamics = dynamics
         self.incremental = incremental
+        self.instrumentation = (
+            instrumentation
+            if instrumentation is not None and instrumentation.enabled
+            else None
+        )
         self.estimate_noise = (
             None
             if estimate_noise is None or estimate_noise.is_null
@@ -288,6 +337,35 @@ class CoflowSimulator:
                 )
         self.scheduler.reset()
 
+        # Observability: the legacy ``record_timeline`` epochs list and
+        # any user-supplied sink consume one shared event stream -- a
+        # timeline collector is just another Instrumentation attached to
+        # the same emission sites (see repro.obs).
+        obs: Instrumentation | None = self.instrumentation
+        collector: _TimelineCollector | None = None
+        if self.record_timeline:
+            collector = _TimelineCollector()
+            obs = (
+                collector
+                if obs is None
+                else MultiInstrumentation([collector, obs])
+            )
+        track = obs is not None
+        wants_flow_events = track and obs.wants_flow_events
+        wants_detail = track and (
+            obs.wants_flow_events or obs.wants_port_samples
+        )
+        first_byte_seen: set[int] = set()
+        failures_seen = 0
+
+        def sync_failures(manager: RecoveryManager) -> None:
+            """Forward newly appended failure-log records to the sink."""
+            nonlocal failures_seen
+            records = manager.records
+            while failures_seen < len(records):
+                obs.failure(records[failures_seen])
+                failures_seen += 1
+
         # With dynamics, work on a private fabric copy and a private event
         # schedule so runs are repeatable and the caller's fabric pristine.
         fabric = self.fabric
@@ -325,6 +403,19 @@ class CoflowSimulator:
         heapq.heapify(pending)
         total_bytes = float(sum(c.total_volume for c in coflows))
         known_ids = {c.coflow_id for c in coflows}
+        if track:
+            obs.run_start(
+                time=0.0, n_coflows=len(coflows), total_bytes=total_bytes
+            )
+            for c in coflows:
+                obs.coflow_submit(
+                    c.coflow_id,
+                    time=0.0,
+                    arrival=c.arrival_time,
+                    volume=c.total_volume,
+                    width=c.width,
+                    name=c.name,
+                )
 
         def admit(new: list[Coflow], now: float) -> None:
             """Validate and admit callback-provided coflows mid-run."""
@@ -359,6 +450,15 @@ class CoflowSimulator:
                 )
                 total_bytes += c.total_volume
                 heapq.heappush(pending, (c.arrival_time, c.coflow_id, c))
+                if track:
+                    obs.coflow_submit(
+                        c.coflow_id,
+                        time=now,
+                        arrival=c.arrival_time,
+                        volume=c.total_volume,
+                        width=c.width,
+                        name=c.name,
+                    )
 
         def inject_after(cid: int, now: float) -> None:
             """Admit the injector's new coflows for a completed one."""
@@ -439,13 +539,16 @@ class CoflowSimulator:
             return groups_cache
 
         t = 0.0
-        epochs: list[Epoch] = []
         completion: dict[int, float] = {}
 
         def complete(cid: int, now: float) -> None:
             completion[cid] = now
             progress[cid].completion_time = now
             noise_factors.pop(cid, None)
+            if track:
+                obs.coflow_complete(
+                    cid, time=now, cct=now - progress[cid].arrival_time
+                )
             inject_after(cid, now)
 
         n_epochs = 0
@@ -457,6 +560,8 @@ class CoflowSimulator:
             slack = _arrival_slack(t)
             while pending and pending[0][0] <= t + slack:
                 _, _, cf = heapq.heappop(pending)
+                if track:
+                    obs.coflow_admit(cf.coflow_id, time=t)
                 if cf.width == 0:
                     # Degenerate coflow with no network flows completes instantly.
                     complete(cf.coflow_id, max(t, cf.arrival_time))
@@ -502,6 +607,10 @@ class CoflowSimulator:
                 aborted, local = recovery.step(fabric, t, fl, progress)
                 for cid in aborted:
                     noise_factors.pop(cid, None)
+                if track:
+                    sync_failures(recovery)
+                    for cid in aborted:
+                        obs.coflow_abort(cid, time=t)
                 resubmit_after(aborted, t)
                 for cid in local:
                     # Replan kept the chunk on its source: if that was the
@@ -534,6 +643,10 @@ class CoflowSimulator:
                     aborted = recovery.abort_unrecoverable(t)
                     for cid in aborted:
                         noise_factors.pop(cid, None)
+                    if track:
+                        sync_failures(recovery)
+                        for cid in aborted:
+                            obs.coflow_abort(cid, time=t)
                     resubmit_after(aborted, t)
                     if pending:
                         continue
@@ -583,14 +696,59 @@ class CoflowSimulator:
                 )
             dt = max(dt, 0.0)
 
-            if self.record_timeline:
-                epochs.append(
-                    Epoch(
-                        start=t,
-                        duration=dt,
-                        active_flows=fl.size,
-                        aggregate_rate=float(rates.sum()),
-                    )
+            if track:
+                if wants_flow_events:
+                    for cid in np.unique(fl.cids[positive]):
+                        cid = int(cid)
+                        if cid not in first_byte_seen:
+                            first_byte_seen.add(cid)
+                            obs.coflow_first_byte(cid, time=t)
+                detail = None
+                if wants_detail:
+                    n_pending = len(pending)
+
+                    def detail() -> dict:
+                        """Expensive sample fields, computed only when a
+                        sink asks (called synchronously by obs.epoch)."""
+                        d = {
+                            "coflows": int(np.unique(fl.cids).size),
+                            "queue": n_pending,
+                            "residual": float(fl.remaining.sum()),
+                        }
+                        if obs.wants_port_samples:
+                            used_out = np.bincount(
+                                fl.srcs, weights=rates,
+                                minlength=fabric.n_ports,
+                            )
+                            used_in = np.bincount(
+                                fl.dsts, weights=rates,
+                                minlength=fabric.n_ports,
+                            )
+                            with np.errstate(
+                                divide="ignore", invalid="ignore"
+                            ):
+                                busy_s = np.where(
+                                    fabric.egress_rates > 0,
+                                    used_out / fabric.egress_rates, 0.0,
+                                )
+                                busy_r = np.where(
+                                    fabric.ingress_rates > 0,
+                                    used_in / fabric.ingress_rates, 0.0,
+                                )
+                            d["port_busy_send"] = [
+                                round(float(x), 9) for x in busy_s
+                            ]
+                            d["port_busy_recv"] = [
+                                round(float(x), 9) for x in busy_r
+                            ]
+                        return d
+
+                obs.epoch(
+                    start=t,
+                    duration=dt,
+                    active_flows=fl.size,
+                    aggregate_rate=float(rates.sum()),
+                    detail=detail,
                 )
 
             # Drain volumes and credit attained service per coflow.
@@ -645,12 +803,16 @@ class CoflowSimulator:
             cid: completion[cid] - progress[cid].arrival_time for cid in completion
         }
         makespan = max(completion.values()) if completion else 0.0
+        if track:
+            if recovery is not None:
+                sync_failures(recovery)
+            obs.run_end(time=t, makespan=makespan)
         return SimulationResult(
             completion_times=completion,
             ccts=ccts,
             makespan=makespan,
             total_bytes=total_bytes,
-            epochs=epochs,
+            epochs=collector.epochs if collector is not None else [],
             failures=list(recovery.records) if recovery is not None else [],
             failed_coflows=(
                 dict(recovery.failed_coflows) if recovery is not None else {}

@@ -1,0 +1,66 @@
+"""``repro.obs`` -- observability for the CCF pipeline.
+
+A zero-overhead-when-disabled instrumentation layer threaded through the
+simulator, schedulers, planners and job executor:
+
+* :class:`Instrumentation` -- the no-op hook surface the pipeline calls
+  into (coflow lifecycle, epoch samples, failures, planner phases,
+  stage attempts).
+* :class:`Tracer` -- the recording implementation: one structured event
+  stream plus a live :class:`MetricsRegistry`.
+* Exporters -- JSONL (canonical interchange), Chrome ``trace_event``
+  JSON (Perfetto / ``chrome://tracing``), Prometheus text.
+* :func:`summarize_trace` / ``ccf stats`` -- CCT percentiles, per-port
+  bottleneck attribution, failure counts from a captured trace.
+* :func:`repro_header` -- the provenance record embedded in every
+  trace / bench / report artifact.
+"""
+
+from repro.obs.exporters import (
+    TRACE_FORMATS,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_trace,
+)
+from repro.obs.header import git_describe, repro_header
+from repro.obs.instrument import Instrumentation, MultiInstrumentation, Tracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.obs.stats import (
+    names_from_trace,
+    render_summary,
+    result_from_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "MultiInstrumentation",
+    "TRACE_FORMATS",
+    "Tracer",
+    "git_describe",
+    "names_from_trace",
+    "read_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "repro_header",
+    "result_from_trace",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+    "write_trace",
+]

@@ -1,0 +1,109 @@
+"""Reproducibility headers for every artifact the toolchain writes.
+
+Traces, bench payloads and reports are only useful later if they say
+*how* they were produced.  :func:`repro_header` collects the run
+configuration (seed, scheduler, fabric shape) together with the package
+version, the git revision of the working tree (when available) and the
+platform -- one dict, embedded verbatim as the first JSONL record of a
+trace, the ``repro`` key of ``BENCH_simulator.json``, and the preamble
+of ``ccf report`` markdown.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["repro_header", "git_describe"]
+
+#: Version of the header record layout itself.
+HEADER_SCHEMA = 1
+
+
+def git_describe() -> str | None:
+    """``git describe`` of the tree this package was imported from.
+
+    Returns None when the package does not live in a git checkout (an
+    installed wheel), when git is missing, or on any other failure --
+    reproducibility metadata must never break the run that records it.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(Path(__file__).resolve().parent),
+             "describe", "--always", "--dirty", "--tags"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def _package_version() -> str:
+    try:  # the canonical source; repro.__version__ mirrors it
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - defensive
+        return "unknown"
+
+
+def repro_header(
+    *,
+    seed: int | None = None,
+    scheduler: str | None = None,
+    fabric: Any = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """One self-describing provenance record for an output artifact.
+
+    Parameters
+    ----------
+    seed:
+        Whatever seed governed the randomness of the run (workload,
+        chaos, noise -- caller's choice; omit when deterministic).
+    scheduler:
+        Scheduling-discipline name, when one was involved.
+    fabric:
+        A :class:`repro.network.fabric.Fabric` (serialized as shape) or
+        any JSON-ready description of the fabric.
+    extra:
+        Additional caller-specific keys merged in verbatim (e.g.
+        ``strategy="ccf"``, ``coflow_file="plan.json"``).
+    """
+    header: dict[str, Any] = {
+        "schema": HEADER_SCHEMA,
+        "package": "repro",
+        "version": _package_version(),
+        "git": git_describe(),
+        "created_unix": round(time.time(), 3),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    }
+    if seed is not None:
+        header["seed"] = int(seed)
+    if scheduler is not None:
+        header["scheduler"] = str(scheduler)
+    if fabric is not None:
+        if hasattr(fabric, "n_ports"):
+            header["fabric"] = {
+                "n_ports": int(fabric.n_ports),
+                "rate": float(fabric.rate),
+            }
+        else:
+            header["fabric"] = fabric
+    header.update(extra)
+    return header

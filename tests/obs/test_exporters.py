@@ -1,0 +1,176 @@
+"""Exporter format tests: JSONL round-trip, Chrome trace shape, Prometheus."""
+
+import json
+
+import pytest
+
+from repro.network import Coflow, CoflowSimulator, Fabric, Flow
+from repro.network.dynamics import FabricDynamics, RateEvent
+from repro.network.schedulers import make_scheduler
+from repro.obs import (
+    Tracer,
+    read_jsonl,
+    repro_header,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+    write_trace,
+)
+
+
+def _trace(**kwargs):
+    tracer = Tracer(header=repro_header(scheduler="sebf", seed=3))
+    sim = CoflowSimulator(
+        Fabric(n_ports=3, rate=1.0),
+        make_scheduler("sebf"),
+        instrumentation=tracer,
+        **kwargs,
+    )
+    sim.run(
+        [
+            Coflow([Flow(0, 1, 4.0), Flow(1, 2, 2.0)], 0.0, coflow_id=0,
+                   name="alpha"),
+            Coflow([Flow(2, 0, 3.0)], 1.0, coflow_id=1),
+        ]
+    )
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _trace()
+        path = tmp_path / "run.jsonl"
+        n = write_jsonl(path, tracer.events, tracer.header)
+        assert n == len(tracer.events) + 1  # + header line
+        header, events = read_jsonl(path)
+        assert header["scheduler"] == "sebf"
+        assert header["seed"] == 3
+        assert events == tracer.events
+
+    def test_header_is_first_line(self, tmp_path):
+        tracer = _trace()
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, tracer.events, tracer.header)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "header"
+        assert first["package"] == "repro"
+
+    def test_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "epoch", "t": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_jsonl(bad)
+        bad.write_text('["list", "record"]\n')
+        with pytest.raises(ValueError, match="not a trace record"):
+            read_jsonl(bad)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text('{"kind": "header", "seed": 1}\n\n{"kind": "run_end", "t": 1.0}\n')
+        header, events = read_jsonl(p)
+        assert header == {"seed": 1}
+        assert len(events) == 1
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        tracer = _trace()
+        doc = to_chrome_trace(tracer.events, tracer.header)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["metadata"]["scheduler"] == "sebf"
+        events = doc["traceEvents"]
+        assert events
+        for e in events:
+            # the trace_event viewer's required keys
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+            assert e["ph"] in ("X", "C", "i", "M")
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+            if e["ph"] == "i":
+                assert e["s"] in ("g", "t", "p")
+        json.dumps(doc)  # fully serializable
+
+    def test_coflow_spans(self):
+        tracer = _trace()
+        doc = to_chrome_trace(tracer.events)
+        spans = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "coflow"
+        ]
+        assert {e["name"] for e in spans} == {"alpha", "cf1"}
+        alpha = next(e for e in spans if e["name"] == "alpha")
+        complete = next(
+            e for e in tracer.events
+            if e["kind"] == "coflow_complete" and e["cid"] == 0
+        )
+        assert alpha["ts"] + alpha["dur"] == pytest.approx(
+            complete["t"] * 1e6
+        )
+
+    def test_port_gantt_rows(self):
+        tracer = _trace()
+        doc = to_chrome_trace(tracer.events)
+        ports = [
+            e for e in doc["traceEvents"] if e.get("cat") == "port"
+        ]
+        assert ports
+        assert all(e["pid"] == 2 for e in ports)
+        assert {e["tid"] for e in ports} <= {0, 1, 2}
+
+    def test_abort_marked(self):
+        tracer = _trace(
+            dynamics=FabricDynamics([RateEvent.failure(0.5, 0)]),
+            recovery="abort",
+        )
+        doc = to_chrome_trace(tracer.events)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert any(n.endswith("[aborted]") for n in names)
+        assert any(
+            e.get("cat") == "failure" and e["ph"] == "i"
+            for e in doc["traceEvents"]
+        )
+
+    def test_unfinished_coflows_flushed(self):
+        events = [
+            {"kind": "coflow_submit", "t": 0.0, "cid": 5, "arrival": 0.0,
+             "volume": 1.0, "width": 1, "name": "late"},
+            {"kind": "coflow_admit", "t": 0.0, "cid": 5},
+        ]
+        doc = to_chrome_trace(events)
+        assert any(
+            e["name"] == "late [unfinished]" for e in doc["traceEvents"]
+        )
+
+    def test_write_returns_count(self, tmp_path):
+        tracer = _trace()
+        path = tmp_path / "t.json"
+        n = write_chrome_trace(path, tracer.events, tracer.header)
+        doc = json.loads(path.read_text())
+        assert n == len(doc["traceEvents"])
+
+
+class TestPrometheus:
+    def test_dump_with_header_preamble(self, tmp_path):
+        tracer = _trace()
+        path = tmp_path / "m.prom"
+        write_prometheus(path, tracer.metrics, tracer.header)
+        text = path.read_text()
+        assert text.startswith("# ")
+        assert '# scheduler: "sebf"' in text
+        assert "coflows_completed_total 2" in text
+        assert "cct_seconds_count 2" in text
+        assert 'port_busy_seconds_total{' in text
+
+
+class TestWriteTrace:
+    @pytest.mark.parametrize("fmt", ["jsonl", "chrome", "prom"])
+    def test_dispatch(self, tmp_path, fmt):
+        tracer = _trace()
+        path = tmp_path / f"out.{fmt}"
+        assert write_trace(tracer, path, fmt) > 0
+        assert path.exists()
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(_trace(), tmp_path / "x", "xml")

@@ -1,0 +1,102 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value == 2.5
+
+    def test_histogram_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.cumulative() == [1, 2, 3, 4]
+        assert h.n == 4
+        assert h.total == 555.5
+
+    def test_histogram_quantile(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+        assert math.isnan(Histogram().quantile(0.5))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_identity_by_name_and_labels(self):
+        m = MetricsRegistry()
+        a = m.counter("reqs", labels={"code": "200"})
+        b = m.counter("reqs", labels={"code": "500"})
+        c = m.counter("reqs", labels={"code": "200"})
+        assert a is c and a is not b
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(ValueError):
+            m.gauge("x")
+
+    def test_families_sorted(self):
+        m = MetricsRegistry()
+        m.gauge("b")
+        m.counter("a")
+        assert [name for name, *_ in m.families()] == ["a", "b"]
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        m = MetricsRegistry()
+        m.counter("epochs_total", "epochs").inc(3)
+        m.gauge("sim_time_seconds", "clock").set(1.25)
+        text = render_prometheus(m)
+        assert "# HELP epochs_total epochs" in text
+        assert "# TYPE epochs_total counter" in text
+        assert "epochs_total 3" in text
+        assert "sim_time_seconds 1.25" in text
+
+    def test_labels_rendered_sorted(self):
+        m = MetricsRegistry()
+        m.counter("busy", labels={"port": "3", "dir": "send"}).inc()
+        assert 'busy{dir="send",port="3"} 1' in render_prometheus(m)
+
+    def test_histogram_exposition(self):
+        m = MetricsRegistry()
+        h = m.histogram("cct", "cct", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_prometheus(m)
+        assert 'cct_bucket{le="1"} 1' in text
+        assert 'cct_bucket{le="10"} 2' in text
+        assert 'cct_bucket{le="+Inf"} 2' in text
+        assert "cct_sum 5.5" in text
+        assert "cct_count 2" in text

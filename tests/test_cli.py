@@ -175,3 +175,119 @@ class TestSimulateStagePolicy:
              "--censor", "0.2", "--noise-seed", "4"]
         ) == 0
         assert "average CCT" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    @pytest.fixture()
+    def plan_file(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        assert main(
+            ["plan", "--nodes", "6", "--scale-factor", "0.2", "--out", path]
+        ) == 0
+        return path
+
+    @pytest.fixture()
+    def trace_file(self, plan_file, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["simulate", plan_file, "--trace", path]) == 0
+        return path
+
+    def test_timeline_flag(self, plan_file, capsys):
+        assert main(["simulate", plan_file, "--timeline"]) == 0
+        assert "epochs recorded" in capsys.readouterr().out
+
+    def test_timeline_off_hint(self, plan_file, capsys):
+        assert main(["simulate", plan_file]) == 0
+        assert "pass --timeline" in capsys.readouterr().out
+
+    def test_trace_jsonl_readable(self, trace_file):
+        from repro.obs import read_jsonl
+
+        header, events = read_jsonl(trace_file)
+        assert header["package"] == "repro"
+        assert header["scheduler"] == "sebf"
+        kinds = {e["kind"] for e in events}
+        assert {"run_start", "coflow_submit", "epoch", "run_end"} <= kinds
+
+    def test_trace_chrome(self, plan_file, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "run.trace.json")
+        assert main(
+            ["simulate", plan_file, "--trace", path,
+             "--trace-format", "chrome"]
+        ) == 0
+        assert "(chrome)" in capsys.readouterr().out
+        doc = json.loads(open(path).read())
+        assert doc["traceEvents"]
+        assert doc["metadata"]["package"] == "repro"
+
+    def test_trace_prom(self, plan_file, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        assert main(
+            ["simulate", plan_file, "--trace", path, "--trace-format", "prom"]
+        ) == 0
+        text = open(path).read()
+        assert "# TYPE epochs_total counter" in text
+        assert "cct_seconds_bucket" in text
+
+    def test_trace_with_stage_policy(self, plan_file, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = str(tmp_path / "stage.jsonl")
+        assert main(
+            ["simulate", plan_file, "--fail-port", "0", "--fail-at", "0.05",
+             "--fail-direction", "ingress", "--stage-policy", "replan",
+             "--trace", path]
+        ) == 0
+        _, events = read_jsonl(path)
+        kinds = {e["kind"] for e in events}
+        assert "stage_attempt" in kinds and "planner_phase" in kinds
+
+    def test_stats_command(self, trace_file, capsys):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "CCT (s): p50=" in out
+        assert "coflows:" in out
+        assert "bottleneck attribution" in out
+
+    def test_stats_json(self, trace_file, capsys):
+        import json
+
+        assert main(["stats", trace_file, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["coflows"]["completed"] >= 1
+        assert summary["header"]["package"] == "repro"
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_gantt_from_trace(self, trace_file, capsys):
+        assert main(["gantt", "--from-trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_gantt_needs_exactly_one_source(self, trace_file, capsys):
+        assert main(["gantt"]) == 2
+        assert "exactly one input" in capsys.readouterr().err
+        assert main(
+            ["gantt", "some.json", "--from-trace", trace_file]
+        ) == 2
+
+    def test_report_from_trace_only(self, trace_file, tmp_path, capsys):
+        out_path = str(tmp_path / "report.md")
+        assert main(
+            ["report", "--from-trace", trace_file, "--out", out_path]
+        ) == 0
+        text = open(out_path).read()
+        assert "## Trace summary:" in text
+        assert "Reproducibility header" in text
+        assert "## motivating" not in text  # no experiments ran
+
+    def test_report_bad_trace(self, tmp_path, capsys):
+        assert main(
+            ["report", "--from-trace", str(tmp_path / "nope.jsonl"),
+             "--out", str(tmp_path / "r.md")]
+        ) == 2
+        assert "cannot read trace" in capsys.readouterr().err

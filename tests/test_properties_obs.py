@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) pinning observability's zero impact.
+
+Instrumentation must be a pure *observer*: across random fabrics,
+workloads, chaos schedules and noisy estimates, running with a
+:class:`~repro.obs.Tracer` attached (and/or ``record_timeline=True``)
+has to produce the bit-identical ``SimulationResult`` of the untraced
+run -- same CCT floats, same epoch count, same failure log.  The trace
+itself must agree with the result it observed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.noise import NoisyEstimates
+from repro.network import Coflow, CoflowSimulator, Fabric, Flow
+from repro.network.dynamics import FabricDynamics, RateEvent
+from repro.network.schedulers import make_scheduler
+from repro.obs import Tracer
+
+SCHEDULERS = ("sebf", "dclas", "fair", "wss", "fifo", "scf", "ncf")
+
+
+@st.composite
+def workloads(draw):
+    """A small random fabric + coflow set with staggered arrivals."""
+    n_ports = draw(st.integers(3, 6))
+    n_coflows = draw(st.integers(2, 8))
+    coflows = []
+    for cid in range(n_coflows):
+        width = draw(st.integers(1, 4))
+        flows = []
+        for _ in range(width):
+            src = draw(st.integers(0, n_ports - 1))
+            dst = draw(st.integers(0, n_ports - 2))
+            if dst >= src:
+                dst += 1
+            vol = draw(
+                st.floats(0.01, 20.0, allow_nan=False, allow_infinity=False)
+            )
+            flows.append(Flow(src, dst, vol))
+        arrival = draw(st.floats(0.0, 10.0, allow_nan=False))
+        coflows.append(
+            Coflow(flows=flows, arrival_time=arrival, coflow_id=cid)
+        )
+    return n_ports, coflows
+
+
+def _fingerprint(result):
+    return (
+        tuple(sorted(result.ccts.items())),
+        tuple(sorted(result.completion_times.items())),
+        result.n_epochs,
+        tuple(sorted(result.failed_coflows)),
+        tuple((r.kind, r.time, r.flows) for r in result.failures),
+    )
+
+
+def _run(n_ports, coflows, scheduler, *, tracer=None, timeline=False,
+         dynamics=None, recovery=None, noise=None):
+    sim = CoflowSimulator(
+        Fabric(n_ports=n_ports, rate=1.0),
+        make_scheduler(scheduler),
+        dynamics=dynamics,
+        recovery=recovery,
+        estimate_noise=noise,
+        record_timeline=timeline,
+        instrumentation=tracer,
+    )
+    return sim.run([Coflow(list(c.flows), c.arrival_time, c.coflow_id)
+                    for c in coflows])
+
+
+class TestTracingBitIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(workloads(), st.sampled_from(SCHEDULERS), st.booleans())
+    def test_plain(self, wl, scheduler, timeline):
+        n_ports, coflows = wl
+        off = _run(n_ports, coflows, scheduler)
+        on = _run(n_ports, coflows, scheduler, tracer=Tracer(),
+                  timeline=timeline)
+        assert _fingerprint(off) == _fingerprint(on)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workloads(),
+        st.sampled_from(("sebf", "dclas", "fair")),
+        st.integers(0, 2 ** 16),
+        st.floats(0.05, 0.6),
+        st.floats(0.0, 0.3),
+    )
+    def test_noisy_estimates(self, wl, scheduler, seed, sigma, censor):
+        n_ports, coflows = wl
+        noise = dict(sigma=sigma, censor_fraction=censor, seed=seed)
+        off = _run(
+            n_ports, coflows, scheduler, noise=NoisyEstimates(**noise)
+        )
+        on = _run(
+            n_ports, coflows, scheduler, noise=NoisyEstimates(**noise),
+            tracer=Tracer(),
+        )
+        assert _fingerprint(off) == _fingerprint(on)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workloads(),
+        st.sampled_from(("sebf", "fair", "wss")),
+        st.integers(0, 2),
+        st.floats(0.5, 20.0),
+        st.floats(1.0, 30.0),
+        st.sampled_from(("retry", "replan", "abort")),
+    )
+    def test_chaos_schedule(
+        self, wl, scheduler, port, fail_at, downtime, policy
+    ):
+        n_ports, coflows = wl
+        def events():
+            return FabricDynamics([
+                RateEvent.failure(fail_at, port),
+                RateEvent.recovery(
+                    fail_at + downtime, port, egress=1.0, ingress=1.0
+                ),
+            ])
+        off = _run(
+            n_ports, coflows, scheduler,
+            dynamics=events(), recovery=policy,
+        )
+        tracer = Tracer()
+        on = _run(
+            n_ports, coflows, scheduler,
+            dynamics=events(), recovery=policy, tracer=tracer,
+        )
+        assert _fingerprint(off) == _fingerprint(on)
+        # the trace's failure log mirrors the result's
+        traced = [
+            (e["failure_kind"], e["t"], e["flows"])
+            for e in tracer.events
+            if e["kind"] == "failure"
+        ]
+        assert traced == [(r.kind, r.time, r.flows) for r in on.failures]
+
+
+class TestTraceAgreesWithResult:
+    @settings(max_examples=25, deadline=None)
+    @given(workloads(), st.sampled_from(SCHEDULERS))
+    def test_trace_self_consistency(self, wl, scheduler):
+        n_ports, coflows = wl
+        tracer = Tracer()
+        res = _run(n_ports, coflows, scheduler, tracer=tracer)
+        done = {
+            e["cid"]: e["cct"]
+            for e in tracer.events
+            if e["kind"] == "coflow_complete"
+        }
+        assert done == res.ccts
+        epochs = [e for e in tracer.events if e["kind"] == "epoch"]
+        assert 0 < len(epochs) <= res.n_epochs
+        assert tracer.events[-1]["makespan"] == res.makespan
+        submitted = {
+            e["cid"] for e in tracer.events if e["kind"] == "coflow_submit"
+        }
+        assert submitted == {c.coflow_id for c in coflows}
