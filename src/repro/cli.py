@@ -8,6 +8,9 @@ Examples
     $ ccf run motivating
     $ ccf run fig5 --quick
     $ ccf run fig7 --scale-factor 60 --nodes 100
+    $ ccf sweep fig5 --jobs 4
+    $ ccf sweep fig7 --quick --jobs 2 --cache-dir .ccf-cache
+    $ ccf sweep psweep --resume
     $ ccf plan --nodes 50 --scale-factor 3 --strategy ccf --out plan.json
     $ ccf simulate plan.json --scheduler sebf
     $ ccf simulate plan.json --fail-port 0 --fail-at 1 --recover-at 5 \\
@@ -26,12 +29,14 @@ import sys
 from typing import Sequence
 
 from repro.experiments.figures import (
+    QUICK_N_NODES,
+    QUICK_SCALE_FACTOR,
     SweepConfig,
     run_fig5_nodes,
     run_fig6_zipf,
     run_fig7_skew,
 )
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, SWEEPS, run_experiment
 
 __all__ = ["main", "build_parser"]
 
@@ -41,10 +46,6 @@ _CONFIGURABLE = {
     "fig6": lambda cfg: run_fig6_zipf(cfg),
     "fig7": lambda cfg: run_fig7_skew(cfg),
 }
-
-#: Reduced sweep used by ``--quick``.
-_QUICK_SCALE = 30.0
-_QUICK_NODES = 50
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,7 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quick",
         action="store_true",
-        help=f"reduced scale (SF={_QUICK_SCALE}, {_QUICK_NODES} nodes) for sweeps",
+        help=f"reduced scale (SF={QUICK_SCALE_FACTOR}, {QUICK_N_NODES} nodes) "
+        "for sweeps",
     )
     run.add_argument(
         "--scale-factor", type=float, default=None, help="TPC-H scale factor"
@@ -74,6 +76,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="render the table as markdown"
     )
     run.add_argument(
+        "--csv", action="store_true", help="render the table as CSV"
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a grid experiment through the parallel, cache-aware "
+        "engine (bit-identical to 'ccf run', but cells fan out over "
+        "worker processes and completed cells are memoized on disk)",
+    )
+    sweep.add_argument("experiment", choices=sorted(SWEEPS))
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial fallback path)",
+    )
+    sweep.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="cell-cache root (default: $CCF_CACHE_DIR or "
+        "~/.cache/ccf/sweeps)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="skip cache lookup and write-back entirely",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep: require the cache directory "
+        "to exist and report how many cells were restored from it",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true",
+        help="the experiment's reduced smoke-test grid "
+        f"(figure sweeps: SF={QUICK_SCALE_FACTOR}, {QUICK_N_NODES} nodes)",
+    )
+    sweep.add_argument(
+        "--scale-factor", type=float, default=None,
+        help="TPC-H scale factor (figure sweeps only)",
+    )
+    sweep.add_argument(
+        "--nodes", type=int, default=None,
+        help="number of nodes (figure sweeps only)",
+    )
+    sweep.add_argument(
+        "--markdown", action="store_true", help="render the table as markdown"
+    )
+    sweep.add_argument(
         "--csv", action="store_true", help="render the table as CSV"
     )
 
@@ -549,6 +596,87 @@ def _simulate_with_stage_policy(
     return 0 if res.completed else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one grid experiment through the parallel, cache-aware engine."""
+    from repro.experiments.engine import (
+        CellCache,
+        default_cache_dir,
+        run_sweep,
+    )
+    from repro.experiments.registry import build_sweep
+    from repro.obs import MetricsRegistry
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.no_cache and args.resume:
+        print(
+            "--no-cache and --resume are mutually exclusive: resuming "
+            "means restoring completed cells from the cache",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache = None
+    cache_dir = None
+    if not args.no_cache:
+        from pathlib import Path
+
+        cache_dir = (
+            Path(args.cache_dir).expanduser()
+            if args.cache_dir
+            else default_cache_dir()
+        )
+        if args.resume and not cache_dir.is_dir():
+            print(
+                f"--resume: cache directory {cache_dir} does not exist; "
+                "nothing to resume from",
+                file=sys.stderr,
+            )
+            return 2
+        cache = CellCache(cache_dir)
+
+    try:
+        spec = build_sweep(
+            args.experiment,
+            quick=args.quick,
+            scale_factor=args.scale_factor,
+            n_nodes=args.nodes,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    metrics = MetricsRegistry()
+    outcome = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        progress=lambda msg: print(msg, file=sys.stderr),
+        metrics=metrics,
+    )
+    if args.resume:
+        print(
+            f"resumed {outcome.hits}/{outcome.n_cells} cells from cache",
+            file=sys.stderr,
+        )
+    print(
+        f"cells: {outcome.n_cells} total | cache hits: {outcome.hits} | "
+        f"executed: {outcome.misses} | jobs: {outcome.jobs} | "
+        f"{outcome.elapsed_seconds:.2f}s "
+        f"cache={cache_dir if cache is not None else 'off'}",
+        file=sys.stderr,
+    )
+    table = outcome.table
+    if args.csv:
+        print(table.to_csv(), end="")
+    elif args.markdown:
+        print(table.to_markdown())
+    else:
+        print(table.render())
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Summarize a JSONL trace: CCTs, bottleneck ports, failures."""
     import json
@@ -608,8 +736,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for name in names:
         print(f"running {name} ...", flush=True)
         if name in _CONFIGURABLE and args.quick:
-            cfg = SweepConfig(scale_factor=_QUICK_SCALE, n_nodes=_QUICK_NODES)
-            table = _CONFIGURABLE[name](cfg)
+            table = _CONFIGURABLE[name](SweepConfig.quick())
         else:
             table = run_experiment(name)
         sections += [f"## {name}", "", table.to_markdown(), ""]
@@ -816,6 +943,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args)
 
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+
     if args.command == "stats":
         return _cmd_stats(args)
 
@@ -842,10 +972,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     name = args.experiment
     if name in _CONFIGURABLE and (args.quick or args.scale_factor or args.nodes):
-        cfg = SweepConfig()
-        if args.quick:
-            cfg.scale_factor = _QUICK_SCALE
-            cfg.n_nodes = _QUICK_NODES
+        cfg = SweepConfig.quick() if args.quick else SweepConfig()
         if args.scale_factor is not None:
             cfg.scale_factor = args.scale_factor
         if args.nodes is not None:

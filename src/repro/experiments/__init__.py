@@ -13,10 +13,37 @@ Each experiment mirrors one artifact of the paper (§IV):
 ===================  =================================================
 
 Run them via :func:`repro.experiments.registry.run_experiment`, the
-``ccf`` CLI, or the per-figure benches under ``benchmarks/``.
+``ccf`` CLI, or the per-figure benches under ``benchmarks/``.  The
+grid-shaped experiments are also sweep-capable: ``ccf sweep <name>``
+(or :func:`repro.experiments.engine.run_sweep` on the spec from
+:func:`repro.experiments.registry.build_sweep`) runs their cells in
+parallel with on-disk memoization, bit-identically to the serial path.
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.engine import (
+    Cell,
+    CellCache,
+    SweepOutcome,
+    SweepSpec,
+    run_sweep,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    SWEEPS,
+    build_sweep,
+    run_experiment,
+)
 from repro.experiments.tables import ResultTable
 
-__all__ = ["EXPERIMENTS", "ResultTable", "run_experiment"]
+__all__ = [
+    "Cell",
+    "CellCache",
+    "EXPERIMENTS",
+    "ResultTable",
+    "SWEEPS",
+    "SweepOutcome",
+    "SweepSpec",
+    "build_sweep",
+    "run_experiment",
+    "run_sweep",
+]

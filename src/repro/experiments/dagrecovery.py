@@ -75,6 +75,24 @@ def run_dag_recovery(
     noise) cell's makespan against it.  ``seed`` drives the per-stage
     noise draws; everything else is deterministic, so equal seeds yield
     the identical table.
+
+    Parameters
+    ----------
+    n_nodes, scale_factor, strategy:
+        Diamond-DAG workload shape and the planning strategy it uses.
+    schedulers, policies, noise_levels:
+        The swept grid: one row per (scheduler, policy, noise) cell.
+    fail_port, fail_at, recover_at, fail_direction:
+        The injected node loss: which port, when it fails and repairs,
+        and whether its ingress or egress side goes dark.
+    seed:
+        Drives the per-stage estimate-noise draws.
+
+    Returns
+    -------
+    ResultTable
+        Makespan and ``inflation_x`` against the healthy noise-free
+        baseline for every grid cell, plus the stage-attempt counts.
     """
     dag = _diamond_dag(n_nodes, scale_factor)
     # Skew handling would broadcast v0 flows into every port; those are

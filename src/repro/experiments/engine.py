@@ -1,0 +1,427 @@
+"""Parallel, cache-aware experiment engine behind ``ccf sweep``.
+
+The paper's evaluation (Figures 5-9 and the tables) is a grid of
+*independent* simulation cells: each sweep point plans and simulates on
+its own, sharing nothing with its neighbours.  This module exploits that
+twice:
+
+* **Parallelism** -- the cells of a sweep fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; serial execution
+  (``jobs=1``) stays available as the fallback path and produces
+  bit-identical :class:`~repro.experiments.tables.ResultTable`\\ s, since
+  every cell is deterministic given its parameters and the table is
+  assembled in declaration order regardless of completion order.
+* **Memoization** -- each completed cell is written to an on-disk
+  content-addressed cache keyed by a canonical hash of (cell parameters,
+  sweep name + spec version, repro-header code fields).  Re-running a
+  sweep after an unrelated change is a near-instant cache hit, and an
+  interrupted sweep resumes from the cells that already completed.
+
+Experiments participate by declaring their grid as a
+:class:`SweepSpec`: a list of :class:`Cell`\\ s plus a **module-level**
+cell function (module-level so worker processes can unpickle it by
+reference) and an assembler that turns the per-cell rows back into the
+experiment's ``ResultTable``.
+
+The cache key deliberately excludes the git revision and wall-clock
+time: a commit that does not change cell semantics must still hit.  When
+an experiment's cell function changes meaning, bump its spec
+``version`` to invalidate old entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.experiments.tables import ResultTable
+
+__all__ = [
+    "Cell",
+    "SweepSpec",
+    "SweepOutcome",
+    "CellCache",
+    "run_sweep",
+    "rows_to_table",
+    "cell_key",
+    "derive_seed",
+    "default_cache_dir",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent sweep point.
+
+    Parameters
+    ----------
+    label:
+        Human-readable cell name for progress lines (``"nodes=300"``).
+    params:
+        Keyword arguments of the spec's cell function.  Every value must
+        be JSON-serializable (numbers, strings, booleans, lists, dicts):
+        the parameters are both the call site and the cache identity.
+    """
+
+    label: str
+    params: dict[str, Any]
+
+
+@dataclass
+class SweepSpec:
+    """A sweep experiment declared as a grid of independent cells.
+
+    Parameters
+    ----------
+    name:
+        Registry name of the experiment (also the cache namespace).
+    fn:
+        Module-level callable invoked as ``fn(**cell.params)`` for each
+        cell, returning a JSON-serializable result (typically one table
+        row).  It must be importable by reference so worker processes
+        can unpickle it.
+    cells:
+        The grid, in table row order.
+    assemble:
+        Turns the per-cell results (in ``cells`` order) into the
+        experiment's :class:`ResultTable`.  Runs in the parent process
+        only, so closures are fine here.
+    version:
+        Cache-invalidation tag: bump whenever ``fn``'s semantics change
+        so stale cached cells cannot be replayed.
+    context:
+        Extra code-relevant configuration folded into every cell's cache
+        key (shared constants that are not per-cell parameters).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    cells: list[Cell]
+    assemble: Callable[[list[Any]], ResultTable]
+    version: str = "1"
+    context: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepOutcome:
+    """What one :func:`run_sweep` call did.
+
+    Parameters
+    ----------
+    table:
+        The assembled experiment table.
+    n_cells:
+        Total cells in the grid.
+    hits:
+        Cells restored from the cache.
+    misses:
+        Cells actually executed (``n_cells - hits``).
+    jobs:
+        Worker processes used.
+    elapsed_seconds:
+        Wall-clock time of the whole sweep.
+    """
+
+    table: ResultTable
+    n_cells: int
+    hits: int
+    misses: int
+    jobs: int
+    elapsed_seconds: float
+
+
+def rows_to_table(
+    title: str, columns: Sequence[str], notes: Sequence[str] = ()
+) -> Callable[[list[Any]], ResultTable]:
+    """Standard assembler: one cell result per row, notes appended.
+
+    Parameters
+    ----------
+    title, columns:
+        Forwarded to :class:`ResultTable`.
+    notes:
+        Free-text notes rendered under the table.
+
+    Returns
+    -------
+    Callable[[list], ResultTable]
+        An ``assemble`` callback for :class:`SweepSpec`.
+    """
+
+    def assemble(rows: list[Any]) -> ResultTable:
+        table = ResultTable(title=title, columns=list(columns))
+        for row in rows:
+            table.add_row(*row)
+        for note in notes:
+            table.add_note(note)
+        return table
+
+    return assemble
+
+
+# -- cache identity -----------------------------------------------------
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON: the byte-stable serialization keys are hashed from."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _code_fields() -> dict[str, Any]:
+    """Repro-header fields that describe the *code*, not one run.
+
+    Volatile fields are dropped on purpose: ``created_unix`` changes
+    every call, and ``git`` changes on every commit -- including commits
+    that do not touch the experiment, which must still be cache hits.
+    Package/numpy/python versions stay in: a dependency bump may change
+    floating-point results, and a stale hit would be silent corruption.
+    """
+    from repro.obs.header import repro_header
+
+    header = repro_header()
+    header.pop("created_unix", None)
+    header.pop("git", None)
+    return header
+
+
+def cell_key(spec: SweepSpec, cell: Cell) -> str:
+    """Content-addressed identity of one cell.
+
+    SHA-256 over the canonical JSON of (experiment name, spec version,
+    spec context, cell parameters, code-describing repro-header fields).
+
+    Raises
+    ------
+    TypeError
+        If a cell parameter is not JSON-serializable (cells must be
+        declared with plain data, or they cannot be cached or shipped
+        to worker processes).
+    """
+    payload = {
+        "experiment": spec.name,
+        "spec_version": spec.version,
+        "context": spec.context,
+        "params": cell.params,
+        "header": _code_fields(),
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def derive_seed(base: int, *parts: Any) -> int:
+    """Deterministic per-cell seed, stable across runs and processes.
+
+    Hashes ``(base, parts)`` so neighbouring cells get decorrelated
+    generators while equal inputs always produce the equal seed --
+    required for parallel/serial bit-identity of seeded grids.
+
+    Parameters
+    ----------
+    base:
+        The experiment-level seed.
+    parts:
+        Cell coordinates (index, axis value, ...); any JSON-able values.
+
+    Returns
+    -------
+    int
+        A seed in ``[0, 2**31)`` suitable for ``numpy.random.default_rng``.
+    """
+    text = _canonical([int(base), list(parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31)
+
+
+def default_cache_dir() -> Path:
+    """Cell-cache root: ``$CCF_CACHE_DIR`` or ``~/.cache/ccf/sweeps``."""
+    env = os.environ.get("CCF_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "ccf" / "sweeps"
+
+
+class CellCache:
+    """On-disk content-addressed store of completed sweep cells.
+
+    One JSON document per cell under ``root/<key[:2]>/<key>.json``,
+    holding the result plus a full reproducibility header for
+    provenance.  Writes are atomic (temp file + rename) so a sweep
+    killed mid-write never leaves a half-entry; unreadable or corrupt
+    entries are treated as misses, never as errors.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """Where one cell's document lives (sharded by key prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored document for ``key``, or None on any miss."""
+        try:
+            text = self.path(key).read_text()
+        except OSError:
+            return None
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            return None  # corrupt entry: recompute rather than crash
+        if not isinstance(doc, dict) or "result" not in doc:
+            return None
+        return doc
+
+    def put(self, key: str, document: dict[str, Any]) -> None:
+        """Atomically persist one cell document."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(document))
+        os.replace(tmp, path)
+
+
+# -- execution ----------------------------------------------------------
+
+
+def _invoke(fn: Callable[..., Any], params: dict[str, Any]) -> tuple[Any, float]:
+    """Run one cell (module-level so worker processes can pickle it)."""
+    start = time.perf_counter()
+    value = fn(**params)
+    return value, time.perf_counter() - start
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: CellCache | None = None,
+    progress: Callable[[str], None] | None = None,
+    metrics: Any = None,
+) -> SweepOutcome:
+    """Execute a sweep grid: cache lookups, then (parallel) cell runs.
+
+    Cells found in ``cache`` are restored without executing; the rest
+    run serially in declaration order (``jobs=1``) or fan out over a
+    process pool.  Either way the table is assembled in declaration
+    order, so for deterministic cell functions the result is
+    bit-identical across ``jobs`` values and across cold/warm caches.
+
+    Completed cells are cached *as they finish*, so an interrupted or
+    partially failed sweep resumes from the survivors on the next call.
+    If cells fail, the error of the earliest failing cell is re-raised
+    after the remaining cells have been collected and cached.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    jobs:
+        Worker processes; 1 (default) executes in-process.
+    cache:
+        Cell store; None disables both lookup and write-back.
+    progress:
+        Optional sink for one human-readable line per cell.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; receives
+        ``sweep_cells_total``, ``sweep_cache_hits_total``,
+        ``sweep_cells_executed_total`` counters and a ``sweep_jobs``
+        gauge, all labelled by experiment.
+
+    Returns
+    -------
+    SweepOutcome
+        The assembled table plus cache-hit and timing counters.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    say = progress or (lambda msg: None)
+    n = len(spec.cells)
+    results: list[Any] = [None] * n
+    keys: list[str | None] = [None] * n
+    pending: list[int] = []
+    hits = 0
+
+    for i, cell in enumerate(spec.cells):
+        if cache is not None:
+            keys[i] = cell_key(spec, cell)
+            doc = cache.get(keys[i])
+            if doc is not None:
+                results[i] = doc["result"]
+                hits += 1
+                say(f"[{i + 1}/{n}] {spec.name} {cell.label}: cached")
+                continue
+        pending.append(i)
+
+    def record(i: int, value: Any, elapsed: float) -> None:
+        results[i] = value
+        cell = spec.cells[i]
+        if cache is not None and keys[i] is not None:
+            from repro.obs.header import repro_header
+
+            cache.put(
+                keys[i],
+                {
+                    "key": keys[i],
+                    "experiment": spec.name,
+                    "spec_version": spec.version,
+                    "label": cell.label,
+                    "params": cell.params,
+                    "elapsed_seconds": round(elapsed, 6),
+                    "header": repro_header(experiment=spec.name),
+                    "result": value,
+                },
+            )
+        say(f"[{i + 1}/{n}] {spec.name} {cell.label}: ran in {elapsed:.2f}s")
+
+    if pending and (jobs == 1 or len(pending) == 1):
+        for i in pending:
+            value, elapsed = _invoke(spec.fn, spec.cells[i].params)
+            record(i, value, elapsed)
+    elif pending:
+        errors: list[tuple[int, BaseException]] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_invoke, spec.fn, spec.cells[i].params): i
+                for i in pending
+            }
+            for fut in as_completed(futures):
+                i = futures[fut]
+                try:
+                    value, elapsed = fut.result()
+                except BaseException as exc:  # cache survivors, raise below
+                    errors.append((i, exc))
+                    continue
+                record(i, value, elapsed)
+        if errors:
+            raise min(errors, key=lambda e: e[0])[1]
+
+    misses = n - hits
+    if metrics is not None:
+        labels = {"experiment": spec.name}
+        metrics.counter(
+            "sweep_cells_total", "sweep cells assembled (hit or run)", labels
+        ).inc(n)
+        metrics.counter(
+            "sweep_cache_hits_total", "cells restored from the cell cache", labels
+        ).inc(hits)
+        metrics.counter(
+            "sweep_cells_executed_total", "cells actually executed", labels
+        ).inc(misses)
+        metrics.gauge(
+            "sweep_jobs", "worker processes of the last sweep", labels
+        ).set(jobs)
+
+    return SweepOutcome(
+        table=spec.assemble(results),
+        n_cells=n,
+        hits=hits,
+        misses=misses,
+        jobs=jobs,
+        elapsed_seconds=time.perf_counter() - start,
+    )

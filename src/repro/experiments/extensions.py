@@ -40,7 +40,19 @@ def run_trace_schedulers(
     deadline_fraction: float = 0.3,
     seed: int = 0,
 ) -> ResultTable:
-    """Coflow disciplines on the synthetic Facebook-style trace."""
+    """Coflow disciplines on the synthetic Facebook-style trace.
+
+    Parameters
+    ----------
+    n_ports, n_coflows, arrival_rate, deadline_fraction, seed:
+        :class:`CoflowMixConfig` knobs for the generated trace.
+
+    Returns
+    -------
+    ResultTable
+        One row per discipline: average/p95 CCT, slowdown, fairness and
+        deadline hit rate.
+    """
     cfg = CoflowMixConfig(
         n_ports=n_ports,
         n_coflows=n_coflows,
@@ -116,6 +128,18 @@ def run_online_vs_oblivious(
     resulting coflows then share the fabric under SEBF.  The online
     planner sees the residual loads of earlier shuffles and steers new
     operators away from busy ports.
+
+    Parameters
+    ----------
+    n_nodes, n_jobs, inter_arrival, seed:
+        Stream shape: cluster size, operator count, arrival spacing in
+        seconds, and the burst-workload seed.
+
+    Returns
+    -------
+    ResultTable
+        One row per planner (oblivious, online) with average/max CCT
+        and makespan.
     """
     models = _burst_models(n_nodes, n_jobs, seed)
     fabric = Fabric(n_ports=n_nodes)
@@ -164,6 +188,21 @@ def run_topology_sweep(
     per-NIC bound), which drags most bytes through the home rack's
     uplink; the topology-aware greedy keeps the partition at home and
     only pulls the remote chunk in.
+
+    Parameters
+    ----------
+    n_nodes, hosts_per_rack:
+        Cluster and rack shape.
+    oversubscriptions:
+        Swept rack-uplink oversubscription factors.
+    seed:
+        Workload seed for the chunk placement.
+
+    Returns
+    -------
+    ResultTable
+        One row per oversubscription factor, comparing the flat and
+        topology-aware planners' CCTs and uplink bounds.
     """
     rng = np.random.default_rng(seed)
     racks = np.arange(n_nodes) // hosts_per_rack

@@ -106,7 +106,14 @@ class MotivatingExample:
 
 
 def run_motivating() -> ResultTable:
-    """Reproduce the numbers of Figures 1 and 2 as one table."""
+    """Reproduce the numbers of Figures 1 and 2 as one table.
+
+    Returns
+    -------
+    ResultTable
+        One row per plan (SP0/SP1/SP2/CCF) with its total traffic and
+        its CCT under optimal and sequential scheduling.
+    """
     ex = MotivatingExample.build()
     table = ResultTable(
         title="Motivating example (paper Fig. 1 + Fig. 2, 3 nodes, unit rate)",

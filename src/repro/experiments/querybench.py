@@ -16,16 +16,135 @@ from repro.analytics.queries import (
     distinct_buyers,
     orders_per_customer,
 )
+from repro.experiments.engine import Cell, SweepSpec, rows_to_table, run_sweep
 from repro.experiments.tables import ResultTable
 from repro.workloads.tpch import TPCHConfig
 
-__all__ = ["run_query_suite"]
+__all__ = ["run_query_suite", "queries_sweep"]
 
 QUERIES = {
     "orders_per_customer": orders_per_customer,
     "active_customer_orders": active_customer_orders,
     "distinct_buyers": distinct_buyers,
 }
+
+#: Reduced scale behind ``ccf sweep queries --quick``.
+QUICK_SCALE_FACTOR = 0.01
+
+
+def _query_cell(
+    *,
+    query: str,
+    n_nodes: int,
+    scale_factor: float,
+    skew: float,
+    seed: int,
+    strategies: list,
+) -> list:
+    """One query row: execute the template under every strategy.
+
+    Parameters
+    ----------
+    query:
+        Name of the query template in :data:`QUERIES` (the swept value).
+    n_nodes, scale_factor, skew, seed:
+        TPC-H catalog knobs; the catalog is rebuilt deterministically in
+        the worker.
+    strategies:
+        Strategy names forming the per-strategy column pairs, in order.
+
+    Returns
+    -------
+    list
+        ``[query, rows, comm_s/traffic_mb per strategy...]`` row.
+
+    Raises
+    ------
+    AssertionError
+        If the strategies disagree on the query's result rows.
+    """
+    catalog = build_tpch_catalog(
+        TPCHConfig(n_nodes=n_nodes, scale_factor=scale_factor, skew=skew, seed=seed)
+    )
+    executor = QueryExecutor(catalog, skew_factor=50.0)
+    builder = QUERIES[query]
+    row: list = [query]
+    rows_value: int | None = None
+    metrics: list[float] = []
+    for s in strategies:
+        result = executor.execute(builder(), strategy=s)
+        if rows_value is None:
+            rows_value = result.rows
+        elif result.rows != rows_value:
+            raise AssertionError(
+                f"{query}: strategies disagree on the result "
+                f"({result.rows} vs {rows_value})"
+            )
+        metrics += [
+            result.total_communication_seconds,
+            result.total_traffic / 1e6,
+        ]
+    row.append(rows_value)
+    row.extend(metrics)
+    return row
+
+
+def queries_sweep(
+    *,
+    n_nodes: int = 8,
+    scale_factor: float = 0.02,
+    skew: float = 0.2,
+    seed: int = 1,
+    strategies: tuple[str, ...] = ("hash", "mini", "ccf"),
+    quick: bool = False,
+) -> SweepSpec:
+    """The query benchmark as an engine cell grid (one cell per query).
+
+    Parameters
+    ----------
+    n_nodes, scale_factor, skew, seed, strategies:
+        As :func:`run_query_suite`.
+    quick:
+        Drop the scale factor to ``QUICK_SCALE_FACTOR``.
+
+    Returns
+    -------
+    SweepSpec
+        One cell per query template, in :data:`QUERIES` order.
+    """
+    if quick:
+        scale_factor = QUICK_SCALE_FACTOR
+    cols = ["query", "rows"]
+    for s in strategies:
+        cols += [f"{s}_comm_s", f"{s}_traffic_mb"]
+    cells = [
+        Cell(
+            label=f"query={name}",
+            params=dict(
+                query=name,
+                n_nodes=n_nodes,
+                scale_factor=scale_factor,
+                skew=skew,
+                seed=seed,
+                strategies=list(strategies),
+            ),
+        )
+        for name in QUERIES
+    ]
+    return SweepSpec(
+        name="queries",
+        fn=_query_cell,
+        cells=cells,
+        assemble=rows_to_table(
+            "Analytical queries under Hash / Mini / CCF (tuple level)",
+            cols,
+            notes=(
+                f"TPC-H SF {scale_factor} on {n_nodes} nodes, skew "
+                f"{skew:.0%}; identical results across strategies are "
+                "asserted, not assumed",
+            ),
+        ),
+    )
 
 
 def run_query_suite(
@@ -36,42 +155,27 @@ def run_query_suite(
     seed: int = 1,
     strategies: tuple[str, ...] = ("hash", "mini", "ccf"),
 ) -> ResultTable:
-    """Execute every query template under every strategy."""
-    catalog = build_tpch_catalog(
-        TPCHConfig(
-            n_nodes=n_nodes, scale_factor=scale_factor, skew=skew, seed=seed
+    """Execute every query template under every strategy.
+
+    Parameters
+    ----------
+    n_nodes, scale_factor, skew, seed:
+        TPC-H catalog knobs.
+    strategies:
+        Strategies forming the per-query column pairs.
+
+    Returns
+    -------
+    ResultTable
+        One row per query template with result rows and per-strategy
+        communication time / traffic.
+    """
+    return run_sweep(
+        queries_sweep(
+            n_nodes=n_nodes,
+            scale_factor=scale_factor,
+            skew=skew,
+            seed=seed,
+            strategies=strategies,
         )
-    )
-    executor = QueryExecutor(catalog, skew_factor=50.0)
-    cols = ["query", "rows"]
-    for s in strategies:
-        cols += [f"{s}_comm_s", f"{s}_traffic_mb"]
-    table = ResultTable(
-        title="Analytical queries under Hash / Mini / CCF (tuple level)",
-        columns=cols,
-    )
-    for name, builder in QUERIES.items():
-        row: list = [name]
-        rows_value: int | None = None
-        metrics: list[float] = []
-        for s in strategies:
-            result = executor.execute(builder(), strategy=s)
-            if rows_value is None:
-                rows_value = result.rows
-            elif result.rows != rows_value:
-                raise AssertionError(
-                    f"{name}: strategies disagree on the result "
-                    f"({result.rows} vs {rows_value})"
-                )
-            metrics += [
-                result.total_communication_seconds,
-                result.total_traffic / 1e6,
-            ]
-        row.append(rows_value)
-        row.extend(metrics)
-        table.add_row(*row)
-    table.add_note(
-        f"TPC-H SF {scale_factor} on {n_nodes} nodes, skew {skew:.0%}; "
-        "identical results across strategies are asserted, not assumed"
-    )
-    return table
+    ).table

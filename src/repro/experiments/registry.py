@@ -1,28 +1,55 @@
-"""Experiment registry: one entry per paper artifact."""
+"""Experiment registry: one entry per paper artifact.
+
+Two registries live here:
+
+* :data:`EXPERIMENTS` -- name -> zero-argument runner returning a
+  :class:`ResultTable` (the ``ccf run`` surface; always serial).
+* :data:`SWEEPS` -- the subset whose grids are declared as engine cell
+  lists; :func:`build_sweep` turns a name plus CLI-style overrides into
+  a :class:`~repro.experiments.engine.SweepSpec` for ``ccf sweep``.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.experiments.ablation import run_heuristic_ablation, run_scheduler_ablation
-from repro.experiments.crossover import run_broadcast_crossover
+from repro.experiments.ablation import (
+    heuristic_ablation_sweep,
+    run_heuristic_ablation,
+    run_scheduler_ablation,
+    scheduler_ablation_sweep,
+)
+from repro.experiments.crossover import crossover_sweep, run_broadcast_crossover
 from repro.experiments.dagrecovery import run_dag_recovery
+from repro.experiments.engine import SweepSpec
 from repro.experiments.extensions import (
     run_online_vs_oblivious,
     run_topology_sweep,
     run_trace_schedulers,
 )
-from repro.experiments.figures import run_fig5_nodes, run_fig6_zipf, run_fig7_skew
+from repro.experiments.figures import (
+    fig5_sweep,
+    fig6_sweep,
+    fig7_sweep,
+    run_fig5_nodes,
+    run_fig6_zipf,
+    run_fig7_skew,
+)
 from repro.experiments.motivating import run_motivating
-from repro.experiments.psweep import run_partition_sweep
-from repro.experiments.querybench import run_query_suite
-from repro.experiments.robustness import run_failure_recovery, run_robustness
+from repro.experiments.psweep import psweep_sweep, run_partition_sweep
+from repro.experiments.querybench import queries_sweep, run_query_suite
+from repro.experiments.robustness import (
+    recovery_sweep,
+    robustness_sweep,
+    run_failure_recovery,
+    run_robustness,
+)
 from repro.experiments.solver import run_solver_scaling
 from repro.experiments.summary import run_summary
 from repro.experiments.tables import ResultTable
 from repro.experiments.validation import run_model_validation
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "SWEEPS", "build_sweep", "run_experiment"]
 
 #: Name -> zero-argument runner returning a ResultTable.
 EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
@@ -47,8 +74,44 @@ EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
 }
 
 
+#: Name -> keyword-only SweepSpec factory accepting at least ``quick``.
+#: Keys are a subset of :data:`EXPERIMENTS`: the grid-shaped experiments
+#: whose cells are independent and engine-runnable.
+SWEEPS: dict[str, Callable[..., SweepSpec]] = {
+    "fig5": fig5_sweep,
+    "fig6": fig6_sweep,
+    "fig7": fig7_sweep,
+    "ablation-sched": scheduler_ablation_sweep,
+    "ablation-heuristic": heuristic_ablation_sweep,
+    "queries": queries_sweep,
+    "robustness": robustness_sweep,
+    "recovery": recovery_sweep,
+    "crossover": crossover_sweep,
+    "psweep": psweep_sweep,
+}
+
+#: Sweeps accepting the figure-style --scale-factor / --nodes overrides.
+_FIGURE_SWEEPS = frozenset({"fig5", "fig6", "fig7"})
+
+
 def run_experiment(name: str) -> ResultTable:
-    """Run one registered experiment with paper defaults."""
+    """Run one registered experiment with paper defaults.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`EXPERIMENTS`.
+
+    Returns
+    -------
+    ResultTable
+        The experiment's table at paper defaults.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not registered.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
@@ -56,3 +119,50 @@ def run_experiment(name: str) -> ResultTable:
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     return runner()
+
+
+def build_sweep(
+    name: str,
+    *,
+    quick: bool = False,
+    scale_factor: float | None = None,
+    n_nodes: int | None = None,
+) -> SweepSpec:
+    """Build the cell grid of one sweep-capable experiment.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`SWEEPS`.
+    quick:
+        Use the experiment's reduced smoke-test grid.
+    scale_factor, n_nodes:
+        Workload overrides; only the figure sweeps (fig5/fig6/fig7)
+        accept them.
+
+    Returns
+    -------
+    SweepSpec
+        The grid, ready for :func:`repro.experiments.engine.run_sweep`.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not sweep-capable, or a figure-only override is
+        passed to a non-figure sweep.
+    """
+    try:
+        factory = SWEEPS[name]
+    except KeyError:
+        raise ValueError(
+            f"experiment {name!r} is not sweep-capable; "
+            f"choose from {sorted(SWEEPS)}"
+        ) from None
+    if name in _FIGURE_SWEEPS:
+        return factory(quick=quick, scale_factor=scale_factor, n_nodes=n_nodes)
+    if scale_factor is not None or n_nodes is not None:
+        raise ValueError(
+            f"--scale-factor/--nodes only apply to figure sweeps "
+            f"({sorted(_FIGURE_SWEEPS)}), not {name!r}"
+        )
+    return factory(quick=quick)

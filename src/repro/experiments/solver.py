@@ -63,6 +63,23 @@ def run_solver_scaling(
     ``scale_factor`` is kept tiny: the MILP's difficulty depends on the
     instance *structure* (n x p binary variables), not on the byte
     magnitudes.
+
+    Parameters
+    ----------
+    sizes:
+        Swept ``(n_nodes, partitions)`` instance shapes.
+    scale_factor, zipf_s, skew:
+        Workload knobs shared by every instance.
+    time_limit:
+        Per-instance wall-clock budget for the exact MILP; ``None``
+        means unbounded.
+
+    Returns
+    -------
+    ResultTable
+        One row per instance: solve times and achieved ``T`` for the
+        exact MILP, LP rounding and Algorithm 1, plus the heuristic's
+        optimality gap.
     """
     table = ResultTable(
         title="Exact MILP (HiGHS) vs LP rounding vs Algorithm 1",

@@ -17,7 +17,20 @@ __all__ = ["run_summary"]
 
 
 def run_summary(*, scale_factor: float = 600.0) -> ResultTable:
-    """One table: every headline claim, paper value vs this build."""
+    """One table: every headline claim, paper value vs this build.
+
+    Parameters
+    ----------
+    scale_factor:
+        TPC-H scale for the closed-form figure-5/6/7 headline rows
+        (600.0 is the paper's full scale).
+
+    Returns
+    -------
+    ResultTable
+        One row per headline claim, with the paper's published value
+        next to the value this build computes.
+    """
     table = ResultTable(
         title="Reproduction at a glance (closed form, full paper scale)",
         columns=["headline", "paper", "this build"],

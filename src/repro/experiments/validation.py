@@ -32,7 +32,23 @@ def run_model_validation(
     skew: float = 0.2,
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
 ) -> ResultTable:
-    """Relative error of the analytic model per strategy and metric."""
+    """Relative error of the analytic model per strategy and metric.
+
+    Parameters
+    ----------
+    n_nodes, scale_factor, partitions_per_node, zipf_s, skew:
+        Workload shape shared by the analytic model and every tuple-level
+        instantiation of it.
+    seeds:
+        One tuple-level generation per seed; errors are averaged over
+        them.
+
+    Returns
+    -------
+    ResultTable
+        One row per (strategy, metric) with the mean relative error of
+        the closed form against the measured tuple-level value.
+    """
     p = partitions_per_node * n_nodes
     analytic = AnalyticJoinWorkload(
         n_nodes=n_nodes,

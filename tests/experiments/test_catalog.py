@@ -1,0 +1,44 @@
+"""Drift test: docs/experiments.md must mirror the experiment registry."""
+
+import re
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, SWEEPS
+
+CATALOG = Path(__file__).resolve().parents[2] / "docs" / "experiments.md"
+
+#: A catalog row: ``| `name` | ... | yes/no | ... |`` — first cell is the
+#: backticked experiment name, fourth is the sweep-capability marker.
+ROW_RE = re.compile(r"^\|\s*`([a-z0-9-]+)`\s*\|")
+
+
+def _catalog_rows() -> dict[str, str]:
+    rows: dict[str, str] = {}
+    for line in CATALOG.read_text().splitlines():
+        m = ROW_RE.match(line)
+        if m:
+            rows[m.group(1)] = line
+    return rows
+
+
+def test_catalog_exists():
+    assert CATALOG.is_file(), "docs/experiments.md is missing"
+
+
+def test_catalog_lists_exactly_the_registry():
+    assert sorted(_catalog_rows()) == sorted(EXPERIMENTS)
+
+
+def test_catalog_sweep_column_matches_sweeps_registry():
+    for name, line in _catalog_rows().items():
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        marker = cells[3]
+        assert marker in ("yes", "no"), f"{name}: bad sweep marker {marker!r}"
+        assert (marker == "yes") == (name in SWEEPS), (
+            f"{name}: catalog says sweep={marker!r} but registry says "
+            f"{'yes' if name in SWEEPS else 'no'}"
+        )
+
+
+def test_sweeps_are_a_subset_of_experiments():
+    assert set(SWEEPS) <= set(EXPERIMENTS)

@@ -1,0 +1,223 @@
+"""Tests for the parallel, cache-aware experiment engine."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.engine import (
+    Cell,
+    CellCache,
+    SweepSpec,
+    cell_key,
+    default_cache_dir,
+    derive_seed,
+    rows_to_table,
+    run_sweep,
+)
+from repro.experiments.figures import SweepConfig, fig7_sweep
+from repro.obs import MetricsRegistry
+
+# Module-level cell functions: worker processes unpickle them by
+# reference, so they cannot be closures or lambdas.
+
+#: Cell indices forced to fail (simulated interrupt); cleared per test.
+FAIL_CELLS: set = set()
+
+
+def seeded_row(*, index: int, seed: int) -> list:
+    """Deterministic pseudo-random row derived from (index, seed)."""
+    if index in FAIL_CELLS:
+        raise RuntimeError(f"injected failure in cell {index}")
+    s = derive_seed(seed, index)
+    return [index, s % 1000, (s % 7919) / 7919.0]
+
+
+def _grid(n: int, seed: int = 0, version: str = "1") -> SweepSpec:
+    return SweepSpec(
+        name="test-grid",
+        fn=seeded_row,
+        cells=[
+            Cell(label=f"i={i}", params={"index": i, "seed": seed})
+            for i in range(n)
+        ],
+        assemble=rows_to_table("test grid", ["i", "a", "b"]),
+        version=version,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clear_failures():
+    FAIL_CELLS.clear()
+    yield
+    FAIL_CELLS.clear()
+
+
+class TestRunSweep:
+    def test_serial_matches_declaration_order(self):
+        out = run_sweep(_grid(5))
+        assert [r[0] for r in out.table.rows] == [0, 1, 2, 3, 4]
+        assert out.n_cells == 5 and out.hits == 0 and out.misses == 5
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = run_sweep(_grid(6))
+        parallel = run_sweep(_grid(6), jobs=3)
+        assert parallel.table.rows == serial.table.rows
+        assert parallel.table.render() == serial.table.render()
+
+    def test_parallel_bit_identical_on_real_figure_grid(self):
+        cfg = SweepConfig(scale_factor=2.0, n_nodes=10)
+        spec = fig7_sweep(cfg, (0.0, 0.3))
+        serial = run_sweep(spec).table
+        parallel = run_sweep(
+            fig7_sweep(SweepConfig(scale_factor=2.0, n_nodes=10), (0.0, 0.3)),
+            jobs=2,
+        ).table
+        assert serial.rows == parallel.rows
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(_grid(2), jobs=0)
+
+    def test_progress_lines(self):
+        lines = []
+        run_sweep(_grid(3), progress=lines.append)
+        assert len(lines) == 3
+        assert all("test-grid" in ln and "ran in" in ln for ln in lines)
+
+    def test_metrics_counters(self, tmp_path):
+        cache = CellCache(tmp_path)
+        metrics = MetricsRegistry()
+        run_sweep(_grid(4), cache=cache, metrics=metrics)
+        run_sweep(_grid(4), cache=cache, metrics=metrics)
+        labels = {"experiment": "test-grid"}
+        assert metrics.counter(
+            "sweep_cells_total", "", labels
+        ).value == 8
+        assert metrics.counter(
+            "sweep_cache_hits_total", "", labels
+        ).value == 4
+        assert metrics.counter(
+            "sweep_cells_executed_total", "", labels
+        ).value == 4
+
+
+class TestCellCache:
+    def test_warm_cache_all_hits_and_identical(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = run_sweep(_grid(4), cache=cache)
+        warm = run_sweep(_grid(4), cache=cache)
+        assert (cold.hits, cold.misses) == (0, 4)
+        assert (warm.hits, warm.misses) == (4, 0)
+        assert warm.table.rows == cold.table.rows
+        assert warm.table.render() == cold.table.render()
+
+    def test_cache_survives_json_roundtrip_bit_exact(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cold = run_sweep(_grid(3), cache=cache)
+        for row_cold, row_warm in zip(
+            cold.table.rows, run_sweep(_grid(3), cache=cache).table.rows
+        ):
+            for a, b in zip(row_cold, row_warm):
+                assert a == b and type(a) is type(b)
+
+    def test_interrupted_sweep_resumes_from_survivors(self, tmp_path):
+        cache = CellCache(tmp_path)
+        FAIL_CELLS.add(3)
+        with pytest.raises(RuntimeError, match="cell 3"):
+            run_sweep(_grid(5), cache=cache)
+        FAIL_CELLS.clear()
+        resumed = run_sweep(_grid(5), cache=cache)
+        # cells 0-2 completed before the injected failure and were cached
+        assert resumed.hits == 3 and resumed.misses == 2
+        assert resumed.table.rows == run_sweep(_grid(5)).table.rows
+
+    def test_parallel_interrupt_caches_survivors(self, tmp_path):
+        cache = CellCache(tmp_path)
+        FAIL_CELLS.add(0)
+        with pytest.raises(RuntimeError, match="cell 0"):
+            run_sweep(_grid(4), cache=cache, jobs=2)
+        FAIL_CELLS.clear()
+        resumed = run_sweep(_grid(4), cache=cache)
+        # every cell except the failed one survived the parallel abort
+        assert resumed.hits == 3 and resumed.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        spec = _grid(1)
+        run_sweep(spec, cache=cache)
+        path = cache.path(cell_key(spec, spec.cells[0]))
+        path.write_text("{not json")
+        again = run_sweep(_grid(1), cache=cache)
+        assert again.hits == 0 and again.misses == 1
+
+    def test_document_provenance(self, tmp_path):
+        cache = CellCache(tmp_path)
+        spec = _grid(1)
+        run_sweep(spec, cache=cache)
+        doc = json.loads(cache.path(cell_key(spec, spec.cells[0])).read_text())
+        assert doc["experiment"] == "test-grid"
+        assert doc["label"] == "i=0"
+        assert doc["header"]["experiment"] == "test-grid"
+        assert "result" in doc
+
+    def test_no_cache_means_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CCF_CACHE_DIR", str(tmp_path / "unused"))
+        run_sweep(_grid(2))
+        assert not (tmp_path / "unused").exists()
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("CCF_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestCellKey:
+    def test_stable_for_equal_cells(self):
+        spec = _grid(2)
+        assert cell_key(spec, spec.cells[0]) == cell_key(_grid(2), _grid(2).cells[0])
+
+    def test_sensitive_to_params(self):
+        spec = _grid(2)
+        assert cell_key(spec, spec.cells[0]) != cell_key(spec, spec.cells[1])
+
+    def test_sensitive_to_spec_version(self):
+        a, b = _grid(1), _grid(1, version="2")
+        assert cell_key(a, a.cells[0]) != cell_key(b, b.cells[0])
+
+    def test_sensitive_to_experiment_name(self):
+        a = _grid(1)
+        b = _grid(1)
+        b.name = "other"
+        assert cell_key(a, a.cells[0]) != cell_key(b, b.cells[0])
+
+    def test_unserializable_params_raise(self):
+        spec = _grid(1)
+        bad = Cell(label="bad", params={"x": object()})
+        with pytest.raises(TypeError):
+            cell_key(spec, bad)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_in_range(self):
+        a = derive_seed(7, "skew", 0.3)
+        assert a == derive_seed(7, "skew", 0.3)
+        assert 0 <= a < 2**31
+
+    def test_decorrelates_neighbours(self):
+        seeds = {derive_seed(0, i) for i in range(100)}
+        assert len(seeds) == 100
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    jobs=st.integers(min_value=2, max_value=4),
+)
+def test_property_parallel_serial_bit_identity(n, seed, jobs):
+    """For any seeded grid, parallel and serial tables are bit-identical."""
+    serial = run_sweep(_grid(n, seed=seed))
+    parallel = run_sweep(_grid(n, seed=seed), jobs=jobs)
+    assert serial.table.rows == parallel.table.rows
+    assert serial.table.render() == parallel.table.render()

@@ -1,0 +1,38 @@
+"""The markdown link checker passes over the repo's own docs."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "check_links", REPO / "tools" / "check_links.py"
+)
+check_links = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_links)
+
+
+def test_no_broken_links_in_repo_docs():
+    targets = [
+        str(REPO / "README.md"),
+        str(REPO / "DESIGN.md"),
+        str(REPO / "EXPERIMENTS.md"),
+        str(REPO / "docs"),
+    ]
+    assert check_links.main(targets) == 0
+
+
+def test_checker_flags_broken_link(tmp_path):
+    md = tmp_path / "bad.md"
+    md.write_text("see [missing](does-not-exist.md) and [ok](#anchor)")
+    assert check_links.main([str(md)]) == 1
+
+
+def test_checker_accepts_external_and_anchored_links(tmp_path):
+    (tmp_path / "other.md").write_text("# other")
+    md = tmp_path / "good.md"
+    md.write_text(
+        "[web](https://example.com) [mail](mailto:x@y.z) "
+        "[anchor](#here) [file](other.md#section)"
+    )
+    assert check_links.main([str(md)]) == 0

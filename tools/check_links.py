@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Scans markdown files for relative links (``[text](path)``) and reports
+any whose target does not exist on disk. External links (http/https/
+mailto) and pure in-page anchors are skipped; ``#fragment`` suffixes on
+file links are stripped before the existence check.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+    python tools/check_links.py            # defaults: README.md DESIGN.md
+                                           #           EXPERIMENTS.md docs/
+
+Exits 0 when every link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: ``[text](target)`` — target must not contain spaces or a closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link schemes that are not filesystem paths.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+DEFAULT_TARGETS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs")
+
+
+def iter_markdown(targets: Iterable[str]) -> list[Path]:
+    """Expand files and directories into a sorted list of .md files."""
+    files: set[Path] = set()
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        elif path.suffix == ".md" and path.exists():
+            files.add(path)
+    return sorted(files)
+
+
+def broken_links(md_file: Path) -> list[tuple[int, str]]:
+    """All (line_number, target) pairs in ``md_file`` that don't resolve."""
+    problems: list[tuple[int, str]] = []
+    for lineno, line in enumerate(
+        md_file.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (md_file.parent / rel).exists():
+                problems.append((lineno, target))
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Check every markdown file under the given targets; report breakage."""
+    targets = list(argv) if argv else list(DEFAULT_TARGETS)
+    files = iter_markdown(targets)
+    if not files:
+        print(f"no markdown files found under {targets}", file=sys.stderr)
+        return 1
+    total = 0
+    for md_file in files:
+        for lineno, target in broken_links(md_file):
+            print(f"{md_file}:{lineno}: broken link -> {target}")
+            total += 1
+    if total:
+        print(f"{total} broken link(s) across {len(files)} files")
+        return 1
+    print(f"all links resolve across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
