@@ -36,6 +36,7 @@ from repro.experiments.figures import (
     run_fig6_zipf,
     run_fig7_skew,
 )
+from repro.core.resilience import ResilienceError
 from repro.experiments.registry import EXPERIMENTS, SWEEPS, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +123,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--csv", action="store_true", help="render the table as CSV"
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry failed cells up to N extra times with exponential "
+        "backoff and deterministic jitter (default 0 = fail fast)",
+    )
+    sweep.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock bound per cell attempt (default: unlimited)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the chaos campaign: named fault scenarios (fabric "
+        "chaos, noisy estimates, worker kills, cache corruption, cell "
+        "timeouts) executed through the supervised sweep engine and "
+        "scored for resilience",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="shrink the workload (the scenario set stays complete)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="sweep workers (default 2; worker-kill scenarios need >= 2)",
+    )
+    chaos.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for chaos schedules, noise and retry jitter",
+    )
+    chaos.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="cell-cache root (default: $CCF_CACHE_DIR or "
+        "~/.cache/ccf/sweeps); cache-corruption scenarios corrupt "
+        "their own entry here",
+    )
+    chaos.add_argument(
+        "--no-cache", action="store_true",
+        help="run cache-less (cache-corruption scenarios lose their "
+        "target and quarantine nothing)",
+    )
+    chaos.add_argument(
+        "--no-faults", action="store_true",
+        help="leave platform faults dormant (simulated faults only)",
+    )
+    chaos.add_argument(
+        "--report", type=str, default=None, metavar="PATH",
+        help="also write a markdown report (tables + scorecard) to PATH",
+    )
+    chaos.add_argument(
+        "--csv", action="store_true",
+        help="render the scenario table as CSV on stdout",
+    )
+    chaos.add_argument(
+        "--markdown", action="store_true",
+        help="render the tables as markdown on stdout",
+    )
+    chaos.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write the campaign's platform-event trace (retries, "
+        "timeouts, crashes, quarantines) as JSONL to PATH",
+    )
+    chaos.add_argument(
+        "--crash-dir", type=str, default="crash-reports", metavar="DIR",
+        help="where WorkerCrash reports are written (default "
+        "crash-reports/)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the fault scenarios and exit",
     )
 
     plan = sub.add_parser(
@@ -216,6 +291,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--noise-seed", type=int, default=0,
         help="seed for the estimate-noise draws",
+    )
+    simulate.add_argument(
+        "--max-epochs", type=int, default=None, metavar="N",
+        help="abort (with a crash report) after this many epochs "
+        "(default 10,000,000)",
+    )
+    simulate.add_argument(
+        "--wall-clock-budget", type=float, default=None, metavar="SECONDS",
+        help="abort (with a crash report) when the run exceeds this much "
+        "real time (default: unlimited)",
+    )
+    simulate.add_argument(
+        "--stall-epochs", type=int, default=None, metavar="N",
+        help="abort (with a crash report) after N consecutive epochs "
+        "without simulation-clock progress (default 10,000; 0 disables)",
+    )
+    simulate.add_argument(
+        "--crash-dir", type=str, default="crash-reports", metavar="DIR",
+        help="where watchdog crash reports are written (default "
+        "crash-reports/)",
     )
     simulate.add_argument(
         "--timeline", action="store_true",
@@ -476,6 +571,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         return 2
 
+    from repro.network.simulator import DEFAULT_STALL_EPOCHS
+
     sim = CoflowSimulator(
         fabric,
         make_scheduler(args.scheduler),
@@ -484,8 +581,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         estimate_noise=noise,
         record_timeline=args.timeline,
         instrumentation=tracer,
+        max_epochs=args.max_epochs or 10_000_000,
+        wall_clock_budget_s=args.wall_clock_budget,
+        stall_epochs=(
+            args.stall_epochs
+            if args.stall_epochs is not None
+            else DEFAULT_STALL_EPOCHS
+        ),
     )
-    res = sim.run(coflows)
+    try:
+        res = sim.run(coflows)
+    except ResilienceError as exc:
+        return _report_watchdog_abort(exc, args)
     print(f"scheduler={args.scheduler} ports={n_ports} rate={args.rate:.3g} B/s")
     for cid in sorted(res.ccts):
         print(f"  coflow {cid}: CCT = {res.ccts[cid]:.3f} s")
@@ -509,6 +616,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     _write_trace(tracer, args)
     return 0 if not res.failed_coflows else 1
+
+
+def _report_watchdog_abort(exc: ResilienceError, args: argparse.Namespace) -> int:
+    """Persist a watchdog crash report and return the abort exit code.
+
+    Exit code 3 distinguishes a supervised abort (stall / budget breach,
+    diagnosable from the report) from ordinary failures (1) and CLI
+    misuse (2).
+    """
+    from repro.core.resilience import write_crash_report
+
+    print(f"watchdog abort: {exc}", file=sys.stderr)
+    if exc.report is not None:
+        path = write_crash_report(exc.report, args.crash_dir)
+        print(f"crash report written to {path}", file=sys.stderr)
+    return 3
 
 
 def _write_trace(tracer, args: argparse.Namespace) -> None:
@@ -598,9 +721,11 @@ def _simulate_with_stage_policy(
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run one grid experiment through the parallel, cache-aware engine."""
+    from repro.core.resilience import Backoff
     from repro.experiments.engine import (
         CellCache,
         default_cache_dir,
+        derive_seed,
         run_sweep,
     )
     from repro.experiments.registry import build_sweep
@@ -608,6 +733,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        print(
+            f"--cell-timeout must be > 0, got {args.cell_timeout}",
+            file=sys.stderr,
+        )
         return 2
     if args.no_cache and args.resume:
         print(
@@ -647,14 +781,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    retry = None
+    if args.retries > 0:
+        retry = Backoff(
+            max_attempts=args.retries + 1,
+            base_delay=0.2,
+            max_delay=5.0,
+            jitter=0.1,
+            seed=derive_seed(0, "sweep-backoff", spec.name),
+        )
     metrics = MetricsRegistry()
-    outcome = run_sweep(
-        spec,
-        jobs=args.jobs,
-        cache=cache,
-        progress=lambda msg: print(msg, file=sys.stderr),
-        metrics=metrics,
-    )
+    try:
+        outcome = run_sweep(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            progress=lambda msg: print(msg, file=sys.stderr),
+            metrics=metrics,
+            retry=retry,
+            cell_timeout_s=args.cell_timeout,
+        )
+    except KeyboardInterrupt as exc:
+        return _report_interrupt(exc, cache_dir)
     if args.resume:
         print(
             f"resumed {outcome.hits}/{outcome.n_cells} cells from cache",
@@ -667,6 +815,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"cache={cache_dir if cache is not None else 'off'}",
         file=sys.stderr,
     )
+    if (
+        outcome.retries or outcome.timeouts or outcome.worker_crashes
+        or outcome.pool_rebuilds or outcome.quarantined
+    ):
+        print(
+            f"supervision: {outcome.retries} retries | "
+            f"{outcome.timeouts} timeouts | "
+            f"{outcome.worker_crashes} worker crashes | "
+            f"{outcome.pool_rebuilds} pool rebuilds | "
+            f"{outcome.quarantined} quarantined",
+            file=sys.stderr,
+        )
     table = outcome.table
     if args.csv:
         print(table.to_csv(), end="")
@@ -674,6 +834,131 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(table.to_markdown())
     else:
         print(table.render())
+    return 0
+
+
+def _report_interrupt(exc: KeyboardInterrupt, cache_dir) -> int:
+    """Print a partial-progress summary after Ctrl-C and return 130.
+
+    130 is the conventional ``128 + SIGINT`` exit code.  Completed cells
+    were flushed to the cache before the interrupt surfaced, so a
+    ``--resume`` rerun restores them.
+    """
+    from repro.experiments.engine import SweepInterrupted
+
+    if isinstance(exc, SweepInterrupted):
+        print(f"interrupted: {exc}", file=sys.stderr)
+    else:
+        print("interrupted", file=sys.stderr)
+    if cache_dir is not None:
+        print(
+            f"completed cells were flushed to {cache_dir}; "
+            "rerun with --resume to pick up where you left off",
+            file=sys.stderr,
+        )
+    return 130
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos campaign with platform faults armed by default."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.resilience import WorkerCrash
+    from repro.experiments.chaoscampaign import SCENARIOS, run_campaign
+    from repro.experiments.engine import CellCache, default_cache_dir
+    from repro.obs import MetricsRegistry, Tracer, repro_header
+
+    if args.list_scenarios:
+        width = max(len(name) for name in SCENARIOS)
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<{width}}  {scenario.description}")
+        return 0
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.scenario:
+        unknown = sorted(set(args.scenario) - set(SCENARIOS))
+        if unknown:
+            print(
+                f"unknown scenario(s) {unknown}; "
+                f"choose from {sorted(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    cache = None
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (
+            Path(args.cache_dir).expanduser()
+            if args.cache_dir
+            else default_cache_dir()
+        )
+        cache = CellCache(cache_dir)
+
+    tracer = None
+    if args.trace:
+        tracer = Tracer(
+            header=repro_header(seed=args.seed, command="chaos")
+        )
+    fault_dir = None
+    if not args.no_faults:
+        fault_dir = tempfile.mkdtemp(prefix="ccf-chaos-faults-")
+    try:
+        out = run_campaign(
+            quick=args.quick,
+            jobs=args.jobs,
+            cache=cache,
+            fault_dir=fault_dir,
+            seed=args.seed,
+            scenarios=tuple(args.scenario) if args.scenario else None,
+            progress=lambda msg: print(msg, file=sys.stderr),
+            metrics=MetricsRegistry(),
+            instrumentation=tracer,
+        )
+    except KeyboardInterrupt as exc:
+        return _report_interrupt(exc, cache_dir)
+    except WorkerCrash as exc:
+        return _report_watchdog_abort(exc, args)
+    finally:
+        if fault_dir is not None:
+            shutil.rmtree(fault_dir, ignore_errors=True)
+        if tracer is not None and args.trace:
+            from repro.obs import write_trace
+
+            write_trace(tracer, args.trace, "jsonl")
+            print(
+                f"trace: {len(tracer.events)} events -> {args.trace} (jsonl)",
+                file=sys.stderr,
+            )
+
+    rendered = (
+        out.table.to_markdown() + "\n\n" + out.resilience.to_markdown()
+        if args.markdown
+        else out.table.render() + "\n\n" + out.resilience.render()
+    )
+    if args.csv:
+        print(out.table.to_csv(), end="")
+    else:
+        print(rendered)
+    if args.report:
+        report_path = Path(args.report).expanduser()
+        if report_path.parent != Path(""):
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(
+            "# Chaos campaign\n\n"
+            + out.table.to_markdown()
+            + "\n\n"
+            + out.resilience.to_markdown()
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {report_path}", file=sys.stderr)
+    if not out.completed:
+        print("chaos campaign FAILED: coflows were lost", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -945,6 +1230,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _cmd_sweep(args)
+
+    if args.command == "chaos":
+        return _cmd_chaos(args)
 
     if args.command == "stats":
         return _cmd_stats(args)

@@ -10,6 +10,10 @@
 * :mod:`repro.core.skew` -- partial-duplication skew handling (§III-C).
 * :mod:`repro.core.framework` -- the CCF orchestrator (Fig. 3): workload
   -> (skew pre-processing) -> strategy -> execution plan -> coflow.
+* :mod:`repro.core.resilience` -- supervised-execution primitives:
+  retry/backoff, wall-clock budgets, stall detection, crash reports and
+  the structured error taxonomy shared by the simulator watchdog, the
+  sweep engine and the chaos campaign runner.
 """
 
 from repro.core.exact import ExactResult, ccf_exact
@@ -25,6 +29,18 @@ from repro.core.plan import ExecutionPlan
 from repro.core.replan import lineage_matrix, remap_chunks, replan_assignment
 from repro.core.predictor import PredictedCCTs, predict_ccts
 from repro.core.relax import LPRoundingResult, ccf_lp_rounding
+from repro.core.resilience import (
+    Backoff,
+    BudgetExceeded,
+    CacheCorruption,
+    CellTimeout,
+    Deadline,
+    ResilienceError,
+    StallDetector,
+    StallError,
+    WorkerCrash,
+    retry_call,
+)
 from repro.core.skew import PartialDuplication, SkewHandlingResult
 from repro.core.strategies import (
     STRATEGIES,
@@ -34,7 +50,17 @@ from repro.core.strategies import (
 from repro.core.topology_aware import ccf_heuristic_topology, evaluate_on_topology
 
 __all__ = [
+    "Backoff",
+    "BudgetExceeded",
     "CCF",
+    "CacheCorruption",
+    "CellTimeout",
+    "Deadline",
+    "ResilienceError",
+    "StallDetector",
+    "StallError",
+    "WorkerCrash",
+    "retry_call",
     "ConcurrentPlan",
     "ExactResult",
     "ExecutionPlan",

@@ -19,6 +19,7 @@ from repro.experiments.ablation import (
     run_scheduler_ablation,
     scheduler_ablation_sweep,
 )
+from repro.experiments.chaoscampaign import campaign_sweep, run_chaos
 from repro.experiments.crossover import crossover_sweep, run_broadcast_crossover
 from repro.experiments.dagrecovery import run_dag_recovery
 from repro.experiments.engine import SweepSpec
@@ -70,6 +71,7 @@ EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
     "validation": run_model_validation,
     "crossover": run_broadcast_crossover,
     "psweep": run_partition_sweep,
+    "chaos": run_chaos,
     "summary": run_summary,
 }
 
@@ -88,6 +90,7 @@ SWEEPS: dict[str, Callable[..., SweepSpec]] = {
     "recovery": recovery_sweep,
     "crossover": crossover_sweep,
     "psweep": psweep_sweep,
+    "chaos": campaign_sweep,
 }
 
 #: Sweeps accepting the figure-style --scale-factor / --nodes overrides.

@@ -70,16 +70,30 @@ def chaos_schedule(config: ChaosConfig, fabric: Fabric) -> FabricDynamics:
     an exponential downtime.  A port cannot fail again while it is down,
     and at least ``config.min_alive`` ports stay up at all times.
     """
-    candidates = (
+    requested = (
         list(config.ports)
         if config.ports is not None
         else list(range(fabric.n_ports))
     )
-    for p in candidates:
+    for p in requested:
         if not 0 <= p < fabric.n_ports:
             raise ValueError(
                 f"chaos port {p} out of range for fabric size {fabric.n_ports}"
             )
+    # A port with a zero-rate direction is already dead: "failing" it is
+    # a no-op and its repair event would have to restore a rate of zero,
+    # which RateEvent.recovery rightly rejects.  Only live ports are
+    # eligible to fail.
+    candidates = [
+        p
+        for p in requested
+        if fabric.egress_rates[p] > 0 and fabric.ingress_rates[p] > 0
+    ]
+    if not candidates:
+        raise ValueError(
+            "no chaos-eligible ports: every requested port has a zero-rate "
+            "direction (already dead)"
+        )
     if fabric.n_ports <= config.min_alive:
         raise ValueError(
             f"min_alive={config.min_alive} leaves no port eligible to fail "

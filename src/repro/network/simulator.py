@@ -17,11 +17,22 @@ a port (rate zero), flows pinned to it are detected and handed to the
 run's :class:`~repro.network.recovery.RecoveryPolicy` (abort / retry /
 replan) instead of deadlocking; every failure and recovery action is
 recorded in the structured failure log on :class:`SimulationResult`.
+
+Watchdogs: the epoch loop supervises *itself*.  Three independent
+tripwires -- an epoch budget (``max_epochs``), an optional wall-clock
+budget (``wall_clock_budget_s``) and a no-progress stall detector
+(``stall_epochs`` consecutive epochs without the simulation clock
+advancing) -- abort a pathological run with a structured error from
+:mod:`repro.core.resilience` (:class:`BudgetExceeded` /
+:class:`StallError`, both ``RuntimeError`` subclasses) carrying a crash
+report (repro header, active coflows, last observed events) instead of
+spinning forever.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
@@ -44,10 +55,17 @@ from repro.network.recovery import (
 from repro.network.schedulers.base import CoflowScheduler
 from repro.obs.instrument import Instrumentation, MultiInstrumentation
 
-__all__ = ["CoflowSimulator", "SimulationResult", "Epoch"]
+__all__ = ["CoflowSimulator", "SimulationResult", "Epoch", "DEFAULT_STALL_EPOCHS"]
 
 #: Remaining volume below which a flow is considered finished (bytes).
 _VOLUME_EPS = 1e-6
+
+#: Default bound on consecutive epochs without simulation-clock progress.
+#: Legitimate zero-duration epochs each consume a discrete event (an
+#: admission, a dynamics change, a recovery wakeup) and therefore come in
+#: short bursts; thousands in a row mean the loop is spinning on a
+#: scheduler/dynamics interaction that will never terminate.
+DEFAULT_STALL_EPOCHS = 10_000
 
 #: Floor on the scheduler-reported remaining volume under estimate noise:
 #: censored flows report "size unknown" as this near-zero value, and a
@@ -240,6 +258,20 @@ class CoflowSimulator:
         attached the epoch loop pays one boolean test per emission site
         and results are bit-identical to an uninstrumented run (pinned
         by property tests and the bench gate).
+    wall_clock_budget_s:
+        Optional hard bound on the run's *wall-clock* time.  When the
+        epoch loop is still running after this many real seconds it
+        aborts with :class:`repro.core.resilience.BudgetExceeded`
+        carrying a crash report.  None (the default) disables the check
+        entirely -- the hot path pays nothing.
+    stall_epochs:
+        No-progress watchdog: abort with
+        :class:`repro.core.resilience.StallError` after this many
+        *consecutive* epochs in which the simulation clock did not
+        advance.  Such epochs legitimately occur in short bursts (each
+        consumes a discrete event); an unbounded streak is the
+        signature of an infinite spin.  Defaults to
+        :data:`DEFAULT_STALL_EPOCHS`; pass None or 0 to disable.
 
     Examples
     --------
@@ -265,11 +297,24 @@ class CoflowSimulator:
         estimate_noise: "NoisyEstimates | None" = None,
         incremental: bool = True,
         instrumentation: "Instrumentation | None" = None,
+        wall_clock_budget_s: float | None = None,
+        stall_epochs: int | None = DEFAULT_STALL_EPOCHS,
     ) -> None:
+        if wall_clock_budget_s is not None and wall_clock_budget_s <= 0:
+            raise ValueError(
+                f"wall_clock_budget_s must be strictly positive or None, "
+                f"got {wall_clock_budget_s}"
+            )
+        if stall_epochs is not None and stall_epochs < 0:
+            raise ValueError(
+                f"stall_epochs must be >= 0 or None, got {stall_epochs}"
+            )
         self.fabric = fabric
         self.scheduler = scheduler
         self.record_timeline = record_timeline
         self.max_epochs = max_epochs
+        self.wall_clock_budget_s = wall_clock_budget_s
+        self.stall_epochs = stall_epochs or 0
         self.dynamics = dynamics
         self.incremental = incremental
         self.instrumentation = (
@@ -551,9 +596,97 @@ class CoflowSimulator:
                 )
             inject_after(cid, now)
 
+        def watchdog_abort(error):
+            """Attach a crash report to a watchdog error and raise it.
+
+            The report carries everything a post-mortem needs: the repro
+            header, the simulation clock and epoch count, the active
+            coflows with their outstanding bytes, the failure-log tail
+            and (when a recording sink is attached) the last observed
+            events.
+            """
+            from dataclasses import asdict
+
+            from repro.core.resilience import crash_report
+
+            active = []
+            if fl.size:
+                for cid in np.unique(fl.cids)[:20]:
+                    mask = fl.cids == cid
+                    active.append(
+                        {
+                            "coflow_id": int(cid),
+                            "flows": int(mask.sum()),
+                            "remaining_bytes": float(fl.remaining[mask].sum()),
+                        }
+                    )
+            events = None
+            if obs is not None:
+                for sink in (obs, *getattr(obs, "children", ())):
+                    if hasattr(sink, "events"):
+                        events = sink.events
+                        break
+            context = {
+                "sim_time": float(t),
+                "n_epochs": n_epochs,
+                "active_flows": int(fl.size),
+                "active_coflows": active,
+                "pending_coflows": len(pending),
+                "completed_coflows": len(completion),
+                "scheduler": getattr(
+                    self.scheduler, "name", type(self.scheduler).__name__
+                ),
+                "max_epochs": self.max_epochs,
+                "wall_clock_budget_s": self.wall_clock_budget_s,
+                "stall_epochs": self.stall_epochs,
+            }
+            if recovery is not None and recovery.records:
+                context["failures"] = [
+                    asdict(r) for r in recovery.records[-10:]
+                ]
+            error.report = crash_report(error, context=context, events=events)
+            raise error
+
         n_epochs = 0
+        stall_limit = self.stall_epochs
+        stalled = 0
+        last_clock = -np.inf  # strictly below any valid t, including 0.0
+        wall_start = (
+            time.monotonic() if self.wall_clock_budget_s is not None else 0.0
+        )
         for _ in range(self.max_epochs):
             n_epochs += 1
+            # Watchdogs (inlined: the stall check is two comparisons per
+            # epoch, the wall-clock check only runs when a budget is set).
+            if stall_limit:
+                if t <= last_clock:
+                    stalled += 1
+                    if stalled >= stall_limit:
+                        from repro.core.resilience import StallError
+
+                        watchdog_abort(
+                            StallError(
+                                f"simulation clock stalled at t={t:.6g}: "
+                                f"{stalled} consecutive epochs without "
+                                f"progress (stall_epochs={stall_limit})"
+                            )
+                        )
+                else:
+                    stalled = 0
+                last_clock = t
+            if (
+                self.wall_clock_budget_s is not None
+                and time.monotonic() - wall_start > self.wall_clock_budget_s
+            ):
+                from repro.core.resilience import BudgetExceeded
+
+                watchdog_abort(
+                    BudgetExceeded(
+                        f"simulation exceeded its wall-clock budget of "
+                        f"{self.wall_clock_budget_s:.6g}s at t={t:.6g} "
+                        f"after {n_epochs} epochs"
+                    )
+                )
             # Admit coflows that have arrived.  The tolerance scales with
             # the ULP at ``t`` so boundary arrivals are admitted on time
             # even at large simulation clocks (see :func:`_arrival_slack`).
@@ -796,8 +929,15 @@ class CoflowSimulator:
                 # Flows of incomplete coflows that drained to zero are
                 # removed either way; parked siblings keep the coflow open.
                 fl.keep(~done)
-        else:  # pragma: no cover - loop guard
-            raise RuntimeError(f"simulation exceeded max_epochs={self.max_epochs}")
+        else:
+            from repro.core.resilience import BudgetExceeded
+
+            watchdog_abort(
+                BudgetExceeded(
+                    f"simulation exceeded max_epochs={self.max_epochs} "
+                    f"at t={t:.6g}"
+                )
+            )
 
         ccts = {
             cid: completion[cid] - progress[cid].arrival_time for cid in completion

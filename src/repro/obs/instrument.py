@@ -28,8 +28,15 @@ Event stream schema (one dict per event, ``kind`` discriminates)::
     planner_phase  t, stage, wall_s, strategy
     stage_attempt  t (start), dur, stage, attempt, status, cid
     run_end        t, makespan
+    platform_event t, event (retry | cell_timeout | worker_crash |
+                   pool_rebuild | quarantine | interrupt), experiment,
+                   cell, attempt, detail
 
-Times are simulation seconds except ``wall_s`` (planner wall-clock).
+Times are simulation seconds except ``wall_s`` (planner wall-clock) and
+``platform_event`` times, which are wall-clock unix seconds: platform
+events describe the *machinery* running the experiment (the sweep
+engine's retries, timeouts and crash recoveries), not the simulated
+fabric, so there is no simulation clock to stamp them with.
 """
 
 from __future__ import annotations
@@ -142,6 +149,23 @@ class Instrumentation:
         coflow_id: int = -1,
     ) -> None:
         """A job stage attempt span closed (completed or aborted)."""
+
+    # -- platform (supervised execution) --------------------------------
+    def platform_event(
+        self,
+        event: str,
+        *,
+        time: float,
+        experiment: str = "",
+        cell: str = "",
+        attempt: int = 0,
+        detail: str = "",
+    ) -> None:
+        """The execution platform intervened (retry, timeout, crash, ...).
+
+        ``time`` is wall-clock unix seconds, not simulation time: these
+        events belong to the machinery running the experiment.
+        """
 
     def close(self) -> None:
         """Flush/teardown hook for sinks holding external resources."""
@@ -323,6 +347,18 @@ class Tracer(Instrumentation):
             status=str(status), cid=int(coflow_id),
         )
 
+    def platform_event(self, event, *, time, experiment="", cell="",
+                       attempt=0, detail=""):
+        self.metrics.counter(
+            "platform_events_total", "supervised-execution interventions",
+            labels={"event": event},
+        ).inc()
+        self._emit(
+            "platform_event", time,
+            event=str(event), experiment=str(experiment), cell=str(cell),
+            attempt=int(attempt), detail=str(detail),
+        )
+
 
 class MultiInstrumentation(Instrumentation):
     """Fan one emission stream out to several sinks."""
@@ -388,6 +424,10 @@ class MultiInstrumentation(Instrumentation):
     def stage_attempt(self, stage, attempt, **kw):
         for c in self.children:
             c.stage_attempt(stage, attempt, **kw)
+
+    def platform_event(self, event, **kw):
+        for c in self.children:
+            c.platform_event(event, **kw)
 
     def close(self):
         for c in self.children:

@@ -219,9 +219,30 @@ def summarize_trace(
             "bytes_lost": result.bytes_lost,
             "aborted_coflows": len(result.failed_coflows),
         },
+        "platform": _platform_counters(events),
         "ports": _port_attribution(events, top_k_ports),
     }
     return summary
+
+
+def _platform_counters(
+    events: Sequence[dict[str, Any]],
+) -> dict[str, int] | None:
+    """Supervision counters from ``platform_event`` records, if any.
+
+    Chaos-run traces (``ccf chaos --trace``) interleave platform events
+    (retries, cell timeouts, worker crashes, pool rebuilds, cache
+    quarantines) with the simulation stream; plain simulator traces have
+    none, in which case the section is ``None`` so old traces summarize
+    exactly as before.
+    """
+    counts: dict[str, int] = {}
+    for e in events:
+        if e.get("kind") != "platform_event":
+            continue
+        name = e.get("event", "unknown")
+        counts[name] = counts.get(name, 0) + 1
+    return counts or None
 
 
 def _fmt_s(v: float) -> str:
@@ -278,4 +299,10 @@ def render_summary(summary: dict[str, Any]) -> str:
         )
     else:
         lines.append("failures: none")
+    platform = summary.get("platform")
+    if platform:
+        counters = ", ".join(
+            f"{k}={v}" for k, v in sorted(platform.items())
+        )
+        lines.append(f"platform faults absorbed: {counters}")
     return "\n".join(lines)

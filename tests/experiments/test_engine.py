@@ -208,6 +208,28 @@ class TestDeriveSeed:
         seeds = {derive_seed(0, i) for i in range(100)}
         assert len(seeds) == 100
 
+    def test_pinned_golden_values(self):
+        # Cache keys and chaos/noise streams hang off these values:
+        # changing the hash recipe silently invalidates every cached
+        # sweep, so pin exact outputs.
+        assert derive_seed(0) == 1842134767
+        assert derive_seed(0, "chaos", "baseline") == 2003218044
+        assert derive_seed(7, "skew", 0.3) == 844457844
+        assert derive_seed(42, 1, "a") == 981400166
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_stable_across_process_start_methods(self, method):
+        # Parallel sweeps must seed identically no matter how the worker
+        # was started (PYTHONHASHSEED must not leak in).
+        import multiprocessing
+
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(1) as pool:
+            remote = pool.apply(derive_seed, (7, "skew", 0.3))
+        assert remote == derive_seed(7, "skew", 0.3) == 844457844
+
 
 @settings(max_examples=5, deadline=None)
 @given(

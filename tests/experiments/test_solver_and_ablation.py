@@ -103,6 +103,7 @@ class TestRegistry:
             "validation",
             "crossover",
             "psweep",
+            "chaos",
             "summary",
         }
 

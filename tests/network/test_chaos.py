@@ -143,3 +143,115 @@ class TestChaosSimulation:
         ).run([cf])
         assert r1.ccts[0] == pytest.approx(r2.ccts[0])
         assert [r.kind for r in r1.failures] == [r.kind for r in r2.failures]
+
+
+class TestChaosScheduleEdgeCases:
+    """Regression tests for degenerate configs and fabric states."""
+
+    def test_zero_mtbf_and_zero_mttr_are_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            ChaosConfig(mtbf=0.0, mttr=1.0, horizon=5.0)
+        with pytest.raises(ValueError, match="strictly positive"):
+            ChaosConfig(mtbf=1.0, mttr=0.0, horizon=5.0)
+
+    def test_dead_port_in_fabric_does_not_crash(self):
+        # Regression: a zero-rate port used to reach RateEvent.recovery,
+        # which rejects restoring a rate of zero.
+        fab = make_fabric(6)
+        fab.egress_rates[2] = 0.0
+        dyn = chaos_schedule(
+            ChaosConfig(mtbf=0.3, mttr=0.5, horizon=30.0, seed=1), fab
+        )
+        assert len(dyn.events) > 0
+        assert all(e.port != 2 for e in dyn.events)
+
+    def test_half_dead_port_is_also_ineligible(self):
+        fab = make_fabric(6)
+        fab.ingress_rates[4] = 0.0  # sender alive, receiver dead
+        dyn = chaos_schedule(
+            ChaosConfig(mtbf=0.3, mttr=0.5, horizon=30.0, seed=2), fab
+        )
+        assert all(e.port != 4 for e in dyn.events)
+
+    def test_all_requested_ports_dead_is_a_clean_error(self):
+        fab = make_fabric(4)
+        fab.egress_rates[1] = 0.0
+        with pytest.raises(ValueError, match="no chaos-eligible ports"):
+            chaos_schedule(
+                ChaosConfig(mtbf=1.0, mttr=1.0, horizon=5.0, ports=(1,)), fab
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_failure_windows_never_overlap_per_port(self, seed):
+        # down_until must prevent a port from failing while already down.
+        dyn = chaos_schedule(
+            ChaosConfig(mtbf=0.2, mttr=2.0, horizon=20.0, seed=seed),
+            make_fabric(4),
+        )
+        windows: dict[int, list[tuple[float, float]]] = {}
+        it = iter(dyn_pairs(dyn))
+        for fail_t, repair_t, port in it:
+            for lo, hi in windows.get(port, []):
+                assert repair_t <= lo or fail_t >= hi, (
+                    f"port {port} failed at {fail_t} inside [{lo}, {hi})"
+                )
+            windows.setdefault(port, []).append((fail_t, repair_t))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_repair_strictly_follows_its_failure(self, seed):
+        dyn = chaos_schedule(
+            ChaosConfig(mtbf=0.5, mttr=1.0, horizon=15.0, seed=seed),
+            make_fabric(5),
+        )
+        for fail_t, repair_t, _ in dyn_pairs(dyn):
+            assert repair_t > fail_t
+
+    def test_repairs_may_land_after_horizon_failures_never(self):
+        horizon = 4.0
+        dyn = chaos_schedule(
+            ChaosConfig(mtbf=0.4, mttr=8.0, horizon=horizon, seed=9),
+            make_fabric(6),
+        )
+        fails = [e for e in dyn.events if e.is_failure]
+        repairs = [e for e in dyn.events if not e.is_failure]
+        assert fails, "this seed/config should inject failures"
+        assert all(e.time < horizon for e in fails)
+        assert any(e.time >= horizon for e in repairs), (
+            "an 8s MTTR against a 4s horizon should push repairs past it"
+        )
+
+    def test_schedule_extending_past_sim_end_is_harmless(self):
+        # A schedule whose events outlive the workload must not wedge or
+        # crash the simulator; leftover events simply stay pending.
+        fab = make_fabric(4)
+        cf = Coflow([Flow(0, 1, 0.5)])
+        dyn = chaos_schedule(
+            ChaosConfig(
+                mtbf=5.0, mttr=5.0, horizon=500.0, seed=0, ports=(2, 3)
+            ),
+            fab,
+        )
+        assert len(dyn.events) > 4
+        res = CoflowSimulator(
+            fab, make_scheduler("sebf"), dynamics=dyn, recovery="retry"
+        ).run([cf])
+        assert not res.failed_coflows
+        assert res.makespan < 500.0
+
+
+def dyn_pairs(dyn):
+    """Yield (failure_time, repair_time, port) for a chaos schedule.
+
+    chaos_schedule appends failure and repair back to back, so pairs are
+    recovered from the *generation* order, which FabricDynamics preserves
+    inside its stable sort.
+    """
+    by_port: dict[int, list] = {}
+    for e in sorted(dyn.events, key=lambda e: (e.time, e.is_failure)):
+        by_port.setdefault(e.port, []).append(e)
+    for port, events in by_port.items():
+        fails = [e.time for e in events if e.is_failure]
+        repairs = [e.time for e in events if not e.is_failure]
+        assert len(fails) == len(repairs)
+        for f, r in zip(sorted(fails), sorted(repairs)):
+            yield f, r, port

@@ -1,0 +1,154 @@
+"""Simulator watchdog tests: stall detection, budgets, crash reports.
+
+The pathological loop used throughout: a scheduler that never assigns a
+positive rate but keeps hinting a next event far below the float spacing
+of the clock.  At a large simulation time ``t + hint == t``, so every
+epoch "advances" by a step the clock cannot represent -- the classic
+spin the watchdog exists for.  (The pre-existing starvation check cannot
+catch it: ``dt`` is finite and positive.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.resilience import BudgetExceeded, StallError
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.schedulers.base import CoflowScheduler
+from repro.network.simulator import DEFAULT_STALL_EPOCHS, CoflowSimulator
+from repro.obs import Tracer
+
+
+class SpinningScheduler(CoflowScheduler):
+    """Zero rates + a sub-ULP hint: the epoch loop spins at large t."""
+
+    name = "spinning"
+
+    def allocate(self, ctx):
+        return np.zeros_like(ctx.remaining)
+
+    def next_event_hint(self, ctx, rates):
+        return 1e-9  # > the 1e-12 floor, < one ULP at t = 1e9
+
+
+def spin_coflow() -> Coflow:
+    # Arrives at t = 1e9 so the clock's float spacing (~1.2e-7) swallows
+    # the scheduler's 1e-9 steps: t += dt leaves t unchanged.
+    return Coflow([Flow(0, 1, 5.0)], arrival_time=1e9)
+
+
+class TestStallDetector:
+    def test_spin_raises_stall_error(self):
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0),
+            SpinningScheduler(),
+            stall_epochs=50,
+        )
+        with pytest.raises(StallError, match="stalled") as info:
+            sim.run([spin_coflow()])
+        report = info.value.report
+        assert report is not None
+        assert report["error"]["type"] == "StallError"
+        assert report["context"]["active_flows"] == 1
+        assert report["context"]["active_coflows"][0]["coflow_id"] == 0
+        assert report["context"]["active_coflows"][0]["remaining_bytes"] == 5.0
+        assert "version" in report["header"]
+
+    def test_stall_error_is_a_runtime_error(self):
+        # Pre-taxonomy call sites catch RuntimeError; keep them working.
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), SpinningScheduler(), stall_epochs=50
+        )
+        with pytest.raises(RuntimeError):
+            sim.run([spin_coflow()])
+
+    def test_stall_detector_default_enabled(self):
+        sim = CoflowSimulator(Fabric(n_ports=2, rate=1.0), SpinningScheduler())
+        assert sim.stall_epochs == DEFAULT_STALL_EPOCHS
+        with pytest.raises(StallError):
+            sim.run([spin_coflow()])
+
+    def test_disabled_detector_falls_through_to_epoch_budget(self):
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0),
+            SpinningScheduler(),
+            stall_epochs=0,
+            max_epochs=500,
+        )
+        with pytest.raises(BudgetExceeded, match="max_epochs"):
+            sim.run([spin_coflow()])
+
+    def test_crash_report_includes_event_tail_from_tracer(self):
+        tracer = Tracer()
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0),
+            SpinningScheduler(),
+            stall_epochs=50,
+            instrumentation=tracer,
+        )
+        with pytest.raises(StallError) as info:
+            sim.run([spin_coflow()])
+        report = info.value.report
+        assert report["events_total"] > 0
+        assert report["last_events"][-1]["kind"] == "epoch"
+
+
+class TestBudgets:
+    def test_max_epochs_breach_is_structured(self):
+        # A healthy workload, starved of epochs: the old bare
+        # RuntimeError is now BudgetExceeded with a crash report.
+        coflows = [
+            Coflow([Flow(0, 1, 1.0)], arrival_time=float(i)) for i in range(5)
+        ]
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0), make_scheduler("sebf"), max_epochs=2
+        )
+        with pytest.raises(BudgetExceeded, match="max_epochs") as info:
+            sim.run(coflows)
+        assert info.value.report["context"]["max_epochs"] == 2
+        assert isinstance(info.value, RuntimeError)
+
+    def test_wall_clock_budget(self):
+        sim = CoflowSimulator(
+            Fabric(n_ports=2, rate=1.0),
+            SpinningScheduler(),
+            stall_epochs=0,  # isolate the wall-clock tripwire
+            wall_clock_budget_s=0.2,
+        )
+        with pytest.raises(BudgetExceeded, match="wall-clock") as info:
+            sim.run([spin_coflow()])
+        assert info.value.report["context"]["wall_clock_budget_s"] == 0.2
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="wall_clock_budget_s"):
+            CoflowSimulator(
+                Fabric(n_ports=2, rate=1.0),
+                make_scheduler("sebf"),
+                wall_clock_budget_s=0.0,
+            )
+        with pytest.raises(ValueError, match="stall_epochs"):
+            CoflowSimulator(
+                Fabric(n_ports=2, rate=1.0),
+                make_scheduler("sebf"),
+                stall_epochs=-1,
+            )
+
+
+class TestNoFalsePositives:
+    def test_healthy_run_unaffected_by_watchdogs(self):
+        coflows = [
+            Coflow([Flow(0, 1, 3.0), Flow(2, 1, 1.0)]),
+            Coflow([Flow(1, 0, 2.0)], arrival_time=1.0),
+        ]
+        plain = CoflowSimulator(
+            Fabric(n_ports=3, rate=1.0), make_scheduler("sebf"), stall_epochs=0
+        ).run(coflows)
+        guarded = CoflowSimulator(
+            Fabric(n_ports=3, rate=1.0),
+            make_scheduler("sebf"),
+            stall_epochs=3,  # aggressively tight: healthy runs never stall
+            wall_clock_budget_s=300.0,
+        ).run(coflows)
+        assert guarded.ccts == plain.ccts
+        assert guarded.makespan == plain.makespan

@@ -172,3 +172,44 @@ class TestHeader:
     def test_header_minimal(self):
         h = repro_header()
         assert "seed" not in h and "scheduler" not in h and "fabric" not in h
+
+
+class TestPlatformCounters:
+    def test_old_traces_have_no_platform_section(self):
+        tracer = Tracer()
+        _run(tracer)
+        s = summarize_trace(tracer.events, tracer.header)
+        assert s["platform"] is None
+        assert "platform faults" not in render_summary(s)
+
+    def test_platform_events_are_counted_and_rendered(self):
+        tracer = Tracer()
+        _run(tracer)
+        for event in ("retry", "retry", "cell_timeout", "worker_crash",
+                      "quarantine"):
+            tracer.platform_event(
+                event, time=0.0, experiment="chaos", cell="scenario=x",
+            )
+        s = summarize_trace(tracer.events, tracer.header)
+        assert s["platform"] == {
+            "retry": 2,
+            "cell_timeout": 1,
+            "worker_crash": 1,
+            "quarantine": 1,
+        }
+        text = render_summary(s)
+        assert "platform faults absorbed" in text
+        assert "retry=2" in text
+
+    def test_simulation_sections_unaffected_by_platform_events(self):
+        # The schema is additive: the same trace with platform events
+        # interleaved summarizes the simulation identically.
+        tracer = Tracer()
+        _run(tracer)
+        before = summarize_trace(tracer.events, tracer.header)
+        tracer.platform_event("pool_rebuild", time=1.0, experiment="chaos")
+        after = summarize_trace(tracer.events, tracer.header)
+        assert after["coflows"] == before["coflows"]
+        assert after["cct_seconds"] == before["cct_seconds"]
+        assert after["failures"] == before["failures"]
+        assert after["events_total"] == before["events_total"] + 1

@@ -113,6 +113,109 @@ class TestSimulateFailureInjection:
         assert "invalid chaos configuration" in capsys.readouterr().err
 
 
+class TestSimulateWatchdog:
+    @pytest.fixture()
+    def plan_file(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        assert main(
+            ["plan", "--nodes", "6", "--scale-factor", "0.2", "--out", path]
+        ) == 0
+        return path
+
+    def test_epoch_budget_breach_exits_3_with_crash_report(
+        self, plan_file, tmp_path, capsys
+    ):
+        crash_dir = tmp_path / "crashes"
+        assert main(
+            ["simulate", plan_file, "--max-epochs", "1",
+             "--crash-dir", str(crash_dir)]
+        ) == 3
+        err = capsys.readouterr().err
+        assert "watchdog abort" in err and "max_epochs" in err
+        reports = list(crash_dir.glob("crash-*.json"))
+        assert len(reports) == 1
+        import json
+
+        doc = json.loads(reports[0].read_text())
+        assert doc["error"]["type"] == "BudgetExceeded"
+        assert doc["context"]["max_epochs"] == 1
+
+    def test_healthy_run_writes_no_crash_report(
+        self, plan_file, tmp_path, capsys
+    ):
+        crash_dir = tmp_path / "crashes"
+        assert main(
+            ["simulate", plan_file, "--crash-dir", str(crash_dir)]
+        ) == 0
+        assert not crash_dir.exists()
+
+
+class TestSweepSupervision:
+    def test_interrupt_exits_130_with_partial_summary(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments import engine
+        from repro.experiments.engine import SweepInterrupted
+
+        def fake_run_sweep(spec, **kwargs):
+            raise SweepInterrupted(3, 5)
+
+        monkeypatch.setattr(engine, "run_sweep", fake_run_sweep)
+        assert main(["sweep", "psweep", "--quick", "--no-cache"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted after 3/5 cells" in err
+
+    def test_interrupt_with_cache_mentions_resume(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        from repro.experiments import engine
+        from repro.experiments.engine import SweepInterrupted
+
+        def fake_run_sweep(spec, **kwargs):
+            raise SweepInterrupted(1, 5)
+
+        monkeypatch.setattr(engine, "run_sweep", fake_run_sweep)
+        assert main(
+            ["sweep", "psweep", "--quick", "--cache-dir", str(tmp_path)]
+        ) == 130
+        assert "--resume" in capsys.readouterr().err
+
+    def test_negative_retries_is_cli_misuse(self, capsys):
+        assert main(
+            ["sweep", "psweep", "--quick", "--retries", "-1"]
+        ) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_zero_cell_timeout_is_cli_misuse(self, capsys):
+        assert main(
+            ["sweep", "psweep", "--quick", "--cell-timeout", "0"]
+        ) == 2
+        assert "--cell-timeout" in capsys.readouterr().err
+
+    def test_retries_flag_passes_a_backoff_policy(
+        self, monkeypatch, capsys
+    ):
+        from repro.core.resilience import Backoff
+        from repro.experiments import engine
+
+        seen = {}
+        real = engine.run_sweep
+
+        def spy(spec, **kwargs):
+            seen.update(kwargs)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(engine, "run_sweep", spy)
+        assert main(
+            ["sweep", "psweep", "--quick", "--no-cache",
+             "--retries", "2", "--cell-timeout", "60"]
+        ) == 0
+        capsys.readouterr()
+        assert isinstance(seen["retry"], Backoff)
+        assert seen["retry"].max_attempts == 3
+        assert seen["cell_timeout_s"] == 60.0
+
+
 class TestSimulateStagePolicy:
     @pytest.fixture()
     def plan_file(self, tmp_path):
