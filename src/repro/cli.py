@@ -20,6 +20,11 @@ Examples
     $ ccf simulate plan.json --trace run.trace.json --trace-format chrome
     $ ccf stats run.jsonl
     $ ccf gantt --from-trace run.jsonl
+    $ ccf serve --arrivals 2000 --load 0.7 --slo 60 --trace serve.jsonl
+    $ ccf serve --load 1.6 --policy load-shedding --slo 60
+    $ ccf serve --chaos-mtbf 20 --chaos-mttr 2 --recovery retry
+    $ ccf capacity load --budget 60 --probe-arrivals 150
+    $ ccf capacity nodes --budget 60 --rate 4e6 --probe-arrivals 150
 """
 
 from __future__ import annotations
@@ -39,7 +44,36 @@ from repro.experiments.figures import (
 from repro.core.resilience import ResilienceError
 from repro.experiments.registry import EXPERIMENTS, SWEEPS, run_experiment
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "EXIT_WATCHDOG",
+    "EXIT_SLO_BREACH",
+    "EXIT_INTERRUPTED",
+    "EXIT_CODES",
+]
+
+#: The CLI's exit-code contract, shared by every subcommand.  The docs
+#: table in docs/architecture.md mirrors this dict and a test asserts
+#: they stay in sync.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_WATCHDOG = 3
+EXIT_SLO_BREACH = 4
+EXIT_INTERRUPTED = 130
+
+EXIT_CODES: dict[int, str] = {
+    EXIT_OK: "success",
+    EXIT_FAILURE: "run failure (failed coflows, FAIL verdict, regression)",
+    EXIT_USAGE: "usage error (bad flags, bad configuration)",
+    EXIT_WATCHDOG: "watchdog abort (crash report written)",
+    EXIT_SLO_BREACH: "SLO breach (serve: p95 CCT over budget)",
+    EXIT_INTERRUPTED: "interrupted (128 + SIGINT)",
+}
 
 #: Sweeps that accept a SweepConfig (others run with fixed defaults).
 _CONFIGURABLE = {
@@ -437,7 +471,191 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gantt_cmd.add_argument("--rate", type=float, default=128e6)
     gantt_cmd.add_argument("--width", type=int, default=60)
+
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop service mode: stream seeded coflow arrivals "
+        "through an admission policy into the simulator and report "
+        "steady-state CCT percentiles (exit 4 on SLO breach)",
+    )
+    _add_arrival_args(serve)
+    serve.add_argument(
+        "--load", type=float, default=0.7,
+        help="offered utilization target; the port rate is derived so the "
+        "stream offers this fraction of fabric capacity (> 1 = overload; "
+        "default 0.7)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="explicit per-port rate in bytes/s (overrides --load)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=["fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"],
+        default="sebf",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["accept-all", "bounded-queue", "load-shedding", "slo-guard"],
+        default="accept-all",
+        help="admission policy (default accept-all)",
+    )
+    serve.add_argument(
+        "--watermark", type=float, default=None, metavar="SECONDS",
+        help="backlog watermark for bounded-queue / load-shedding "
+        "(seconds of work outstanding)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="deferred-coflow cap for bounded-queue",
+    )
+    serve.add_argument(
+        "--slo", type=float, default=None, metavar="SECONDS",
+        help="steady-state p95 CCT budget; exit 4 when breached "
+        "(also the default budget of --policy slo-guard)",
+    )
+    serve.add_argument(
+        "--chaos-mtbf", type=float, default=None,
+        help="soak mode: inject random port failures with this mean time "
+        "between failures (s) while arrivals stream in",
+    )
+    serve.add_argument(
+        "--chaos-mttr", type=float, default=1.0,
+        help="mean time to repair for soak-mode failures (s)",
+    )
+    serve.add_argument(
+        "--min-alive", type=int, default=2,
+        help="chaos never takes the fabric below this many live ports",
+    )
+    serve.add_argument(
+        "--recovery",
+        choices=["abort", "retry", "replan"],
+        default="retry",
+        help="flow-recovery policy for soak-mode failures (default retry)",
+    )
+    serve.add_argument(
+        "--max-epochs", type=int, default=None, metavar="N",
+        help="watchdog: abort after this many epochs (default 50,000,000)",
+    )
+    serve.add_argument(
+        "--wall-clock-budget", type=float, default=None, metavar="SECONDS",
+        help="watchdog: abort when the run exceeds this much real time",
+    )
+    serve.add_argument(
+        "--crash-dir", type=str, default="crash-reports", metavar="DIR",
+        help="where watchdog crash reports are written",
+    )
+    serve.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="stream the event log (lifecycle + admission rulings) to "
+        "PATH as JSONL while running -- bounded memory at any length",
+    )
+    serve.add_argument(
+        "--flush-every", type=int, default=4096, metavar="N",
+        help="trace flush interval in events (default 4096)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the service report as JSON instead of text",
+    )
+
+    capacity = sub.add_parser(
+        "capacity",
+        help="binary-search the p95-CCT knee: the highest sustainable "
+        "offered load, or the smallest fabric for a target stream",
+    )
+    capacity.add_argument(
+        "axis", choices=["load", "nodes"],
+        help="search axis: 'load' finds the highest offered load within "
+        "budget; 'nodes' the smallest fabric (needs --rate)",
+    )
+    capacity.add_argument(
+        "--budget", type=float, required=True, metavar="SECONDS",
+        help="p95 CCT budget the knee is measured against",
+    )
+    _add_arrival_args(capacity)
+    capacity.add_argument(
+        "--rate", type=float, default=None,
+        help="fixed per-port rate in bytes/s (required for the nodes "
+        "axis; forbidden for the load axis)",
+    )
+    capacity.add_argument(
+        "--scheduler",
+        choices=["fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"],
+        default="sebf",
+    )
+    capacity.add_argument(
+        "--policy",
+        choices=["accept-all", "bounded-queue", "load-shedding", "slo-guard"],
+        default="accept-all",
+    )
+    capacity.add_argument(
+        "--lo", type=float, default=None,
+        help="search lower bound (default: 0.2 load / 4 nodes)",
+    )
+    capacity.add_argument(
+        "--hi", type=float, default=None,
+        help="search upper bound (default: 2.0 load / 128 nodes)",
+    )
+    capacity.add_argument(
+        "--iters", type=int, default=6,
+        help="bisection iterations for the load axis (default 6)",
+    )
+    capacity.add_argument(
+        "--probe-arrivals", type=int, default=None, metavar="N",
+        help="shorten each probe stream to N arrivals",
+    )
+    capacity.add_argument(
+        "--json", action="store_true",
+        help="emit the probe list and knee as JSON",
+    )
     return parser
+
+
+def _add_arrival_args(p: argparse.ArgumentParser) -> None:
+    """Arrival-stream flags shared by ``serve`` and ``capacity``."""
+    p.add_argument(
+        "--ports", type=int, default=24, help="fabric size (default 24)"
+    )
+    p.add_argument(
+        "--users", type=int, default=20,
+        help="concurrently active users (default 20)",
+    )
+    p.add_argument(
+        "--qps", type=float, default=0.1,
+        help="queries (coflows) per user per second (default 0.1); the "
+        "aggregate arrival rate is users * qps",
+    )
+    p.add_argument(
+        "--process", choices=["poisson", "pareto"], default="poisson",
+        help="inter-arrival law (pareto = heavy-tailed bursts)",
+    )
+    p.add_argument(
+        "--pareto-alpha", type=float, default=1.5,
+        help="tail index of pareto gaps (> 1; smaller = burstier)",
+    )
+    p.add_argument(
+        "--size-mix", choices=["facebook", "zipf"], default="facebook",
+        help="coflow size distribution (default facebook four-bin mix)",
+    )
+    p.add_argument(
+        "--zipf-a", type=float, default=2.0,
+        help="zipf exponent for --size-mix zipf",
+    )
+    p.add_argument(
+        "--size-scale", type=float, default=0.002,
+        help="multiplier on every flow volume (default 0.002 scales the "
+        "raw mix down to interactive CCTs)",
+    )
+    p.add_argument(
+        "--arrivals", type=int, default=1000,
+        help="stream length in coflows (default 1000)",
+    )
+    p.add_argument(
+        "--horizon", type=float, default=None,
+        help="stop generating arrivals after this many seconds",
+    )
+    p.add_argument("--seed", type=int, default=0, help="stream seed")
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -631,7 +849,7 @@ def _report_watchdog_abort(exc: ResilienceError, args: argparse.Namespace) -> in
     if exc.report is not None:
         path = write_crash_report(exc.report, args.crash_dir)
         print(f"crash report written to {path}", file=sys.stderr)
-    return 3
+    return EXIT_WATCHDOG
 
 
 def _write_trace(tracer, args: argparse.Namespace) -> None:
@@ -856,7 +1074,7 @@ def _report_interrupt(exc: KeyboardInterrupt, cache_dir) -> int:
             "rerun with --resume to pick up where you left off",
             file=sys.stderr,
         )
-    return 130
+    return EXIT_INTERRUPTED
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1213,6 +1431,233 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arrival_config_from_args(args: argparse.Namespace):
+    """Build the ArrivalConfig shared by serve and capacity."""
+    from repro.service import ArrivalConfig
+
+    return ArrivalConfig(
+        n_ports=args.ports,
+        users=args.users,
+        qps_per_user=args.qps,
+        process=args.process,
+        pareto_alpha=args.pareto_alpha,
+        size_mix=args.size_mix,
+        zipf_a=args.zipf_a,
+        size_scale=args.size_scale,
+        max_arrivals=args.arrivals,
+        horizon=args.horizon,
+        seed=args.seed,
+    )
+
+
+def _serve_policy_params(args: argparse.Namespace) -> dict:
+    """Collect the explicit policy overrides from serve flags."""
+    params: dict = {}
+    if args.watermark is not None:
+        params["watermark_s"] = args.watermark
+    if args.queue_limit is not None:
+        params["queue_limit"] = args.queue_limit
+    return params
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run one open-loop service scenario and report it."""
+    import json
+
+    from repro.service import ServiceConfig, make_admission_policy, run_service
+
+    try:
+        arrival = _arrival_config_from_args(args)
+        policy_params = _serve_policy_params(args)
+        # Validate the policy/override combination up front so a bad
+        # flag pairing (e.g. --queue-limit with accept-all) is a usage
+        # error, not a mid-run crash.
+        make_admission_policy(args.policy, **policy_params)
+        config = ServiceConfig(
+            arrival=arrival,
+            load=args.load,
+            rate=args.rate,
+            scheduler=args.scheduler,
+            policy=args.policy,
+            policy_params=policy_params,
+            slo_p95=args.slo,
+            chaos_mtbf=args.chaos_mtbf,
+            chaos_mttr=args.chaos_mttr,
+            min_alive=args.min_alive,
+            recovery=args.recovery,
+            wall_clock_budget_s=args.wall_clock_budget,
+            max_epochs=args.max_epochs or 50_000_000,
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"invalid service configuration: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    tracer = None
+    if args.trace:
+        from repro.obs import StreamingTracer, repro_header
+
+        try:
+            tracer = StreamingTracer(
+                args.trace,
+                flush_every=args.flush_every,
+                header=repro_header(
+                    seed=args.seed,
+                    scheduler=args.scheduler,
+                    mode="serve",
+                    policy=args.policy,
+                    load=args.load,
+                ),
+            )
+        except ValueError as exc:
+            print(f"invalid trace configuration: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    try:
+        report, result, _ = run_service(config, instrumentation=tracer)
+    except ResilienceError as exc:
+        return _report_watchdog_abort(exc, args)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        _print_service_report(report, args)
+    if tracer is not None and not args.json:
+        print(f"trace: {tracer.events_written} events -> {args.trace}")
+    return EXIT_SLO_BREACH if not report.slo_ok else EXIT_OK
+
+
+def _print_service_report(report, args: argparse.Namespace) -> None:
+    """Human-readable ``ccf serve`` output."""
+    print(
+        f"service: policy={report.policy} load={report.load:.2f} "
+        f"scheduler={args.scheduler} seed={args.seed}"
+    )
+    print(
+        f"arrivals={report.arrivals} admitted={report.admitted} "
+        f"shed={report.shed} ({report.shed_fraction:.1%}) "
+        f"deferrals={report.deferrals} completed={report.completed} "
+        f"aborted={report.aborted}"
+    )
+
+    def _line(label: str, d: dict) -> str:
+        return (
+            f"{label}: p50={d['p50']:.3f} p95={d['p95']:.3f} "
+            f"p99={d['p99']:.3f} mean={d['mean']:.3f} max={d['max']:.3f}"
+        )
+
+    print(_line("CCT overall (s)", report.overall))
+    if report.steady is not None:
+        print(
+            _line("CCT steady  (s)", report.steady)
+            + f"  [warm-up {report.steady['warmup_s']:.3f} s, "
+            f"{report.steady['samples']} samples]"
+        )
+    else:
+        print("CCT steady  (s): too few completions for a steady window")
+    print(
+        f"backlog at drain: {report.backlog_end_s:.3f} s, "
+        f"makespan {report.makespan:.3f} s, {report.n_epochs} epochs"
+    )
+    if report.port_failures:
+        print(
+            f"soak: {report.port_failures} port failures, "
+            f"{report.bytes_lost:.3g} bytes lost"
+        )
+    if report.slo_p95 is not None:
+        verdict = "OK" if report.slo_ok else "BREACH"
+        print(
+            f"SLO: p95 {report.reported_p95:.3f} s vs budget "
+            f"{report.slo_p95:.3f} s -> {verdict}"
+        )
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    """Binary-search the p95-CCT knee along one axis."""
+    import json
+
+    from repro.service import (
+        ServiceConfig,
+        find_load_capacity,
+        find_node_capacity,
+    )
+
+    if args.axis == "load" and args.rate is not None:
+        print(
+            "--rate is forbidden on the load axis (the port rate is "
+            "derived from each probed load)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.axis == "nodes" and args.rate is None:
+        print(
+            "the nodes axis needs an explicit --rate (a load-derived "
+            "rate would re-absorb any node count)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    try:
+        config = ServiceConfig(
+            arrival=_arrival_config_from_args(args),
+            rate=args.rate,
+            scheduler=args.scheduler,
+            policy=args.policy,
+        )
+        if args.axis == "load":
+            kwargs = dict(
+                budget_s=args.budget,
+                iters=args.iters,
+                probe_arrivals=args.probe_arrivals,
+            )
+            if args.lo is not None:
+                kwargs["lo"] = args.lo
+            if args.hi is not None:
+                kwargs["hi"] = args.hi
+            result = find_load_capacity(config, **kwargs)
+        else:
+            kwargs = dict(
+                budget_s=args.budget,
+                probe_arrivals=args.probe_arrivals,
+            )
+            if args.lo is not None:
+                kwargs["lo"] = int(args.lo)
+            if args.hi is not None:
+                kwargs["hi"] = int(args.hi)
+            result = find_node_capacity(config, **kwargs)
+    except ValueError as exc:
+        print(f"invalid capacity search: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.json:
+        payload = {
+            "axis": result.axis,
+            "budget_s": result.budget_s,
+            "best": result.best,
+            "probes": [vars(p) for p in result.probes],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"capacity search: axis={result.axis} "
+            f"budget={result.budget_s:.3f} s ({len(result.probes)} probes)"
+        )
+        print(result.table())
+        if result.best is None:
+            bound = "lower" if result.axis == "load" else "upper"
+            print(f"no capacity: even the {bound} bound breaches the budget")
+        else:
+            label = (
+                "highest sustainable load"
+                if result.axis == "load"
+                else "smallest sufficient fabric"
+            )
+            print(f"{label}: {result.best:g}")
+    return EXIT_OK if result.best is not None else EXIT_FAILURE
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -1248,6 +1693,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "gantt":
         return _cmd_gantt(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "capacity":
+        return _cmd_capacity(args)
 
     if args.command == "verify":
         from repro.experiments.paper_check import run_paper_check

@@ -154,6 +154,11 @@ class OnlineCCF:
         self._last_time = 0.0
         self._submissions = 0
         self.events: list[OnlineEvent] = []
+        #: Shuffles pruned from ``_history`` after draining (see
+        #: :meth:`_advance`); with the count, ``len(_history) +
+        #: drained_shuffles`` still totals every submission, so service
+        #: loops can assert bounded memory without losing accounting.
+        self.drained_shuffles = 0
 
     @property
     def dead_nodes(self) -> set[int]:
@@ -195,12 +200,25 @@ class OnlineCCF:
             extra_recv=model.extra_recv + recv,
         )
 
+    #: Prune ``_history`` once it holds this many entries (amortized:
+    #: the scan is O(len) but runs at most once per threshold growth).
+    _PRUNE_THRESHOLD = 256
+
     def _advance(self, time: float) -> None:
         if time < self._last_time:
             raise ValueError(
                 f"submissions must be time-ordered: {time} < {self._last_time}"
             )
         self._last_time = time
+        # Drained shuffles contribute zero residual forever (time is
+        # monotone, residual fraction hits 0 and stays there), so they
+        # can be dropped without changing any future plan.  Without the
+        # prune an open-loop service run holding one OnlineCCF for
+        # thousands of submissions grows _history without bound.
+        if len(self._history) >= self._PRUNE_THRESHOLD:
+            alive = [s for s in self._history if not s.finished(time)]
+            self.drained_shuffles += len(self._history) - len(alive)
+            self._history = alive
 
     def submit(
         self,
@@ -438,3 +456,4 @@ class OnlineCCF:
         self.events.clear()
         self._last_time = 0.0
         self._submissions = 0
+        self.drained_shuffles = 0

@@ -39,6 +39,7 @@ from repro.experiments.figures import (
 from repro.experiments.motivating import run_motivating
 from repro.experiments.psweep import psweep_sweep, run_partition_sweep
 from repro.experiments.querybench import queries_sweep, run_query_suite
+from repro.experiments.service import overload_sweep, run_overload
 from repro.experiments.robustness import (
     recovery_sweep,
     robustness_sweep,
@@ -72,6 +73,7 @@ EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
     "crossover": run_broadcast_crossover,
     "psweep": run_partition_sweep,
     "chaos": run_chaos,
+    "overload": run_overload,
     "summary": run_summary,
 }
 
@@ -91,6 +93,7 @@ SWEEPS: dict[str, Callable[..., SweepSpec]] = {
     "crossover": crossover_sweep,
     "psweep": psweep_sweep,
     "chaos": campaign_sweep,
+    "overload": overload_sweep,
 }
 
 #: Sweeps accepting the figure-style --scale-factor / --nodes overrides.

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
@@ -55,7 +56,13 @@ from repro.network.recovery import (
 from repro.network.schedulers.base import CoflowScheduler
 from repro.obs.instrument import Instrumentation, MultiInstrumentation
 
-__all__ = ["CoflowSimulator", "SimulationResult", "Epoch", "DEFAULT_STALL_EPOCHS"]
+__all__ = [
+    "ArrivalSource",
+    "CoflowSimulator",
+    "SimulationResult",
+    "Epoch",
+    "DEFAULT_STALL_EPOCHS",
+]
 
 #: Remaining volume below which a flow is considered finished (bytes).
 _VOLUME_EPS = 1e-6
@@ -71,6 +78,40 @@ DEFAULT_STALL_EPOCHS = 10_000
 #: censored flows report "size unknown" as this near-zero value, and a
 #: strictly positive view keeps every discipline's allocation well-defined.
 _ESTIMATE_FLOOR = 1e-6
+
+
+class ArrivalSource:
+    """Open-loop coflow feed polled by the epoch loop (service mode).
+
+    Unlike the batch path (all coflows known up front) or the
+    ``injector`` callback (fired on completions), a source is consulted
+    at the top of *every* epoch, which lets an admission controller
+    release, defer and shed arrivals against live simulator state.
+    Implementations must be deterministic given their seed: the epoch
+    loop calls the two methods in a fixed order and never concurrently.
+
+    Subclassing this base is optional -- any object with the same two
+    methods works (structural typing); the base exists for
+    documentation and as a default no-op implementation.
+    """
+
+    def next_time(self, now: float) -> float | None:
+        """Earliest future time the source may release a coflow.
+
+        Bounds the epoch length so the loop never overshoots an
+        arrival.  None means the source is exhausted -- the run may end
+        once in-flight work drains.
+        """
+        return None
+
+    def take(self, now: float, slack: float) -> list[Coflow]:
+        """Coflows released at or before ``now`` (+ ``slack`` ULP grace).
+
+        Called once per epoch before the pending drain.  Released
+        coflows may carry an ``arrival_time`` earlier than ``now``
+        (a deferred admission); the CCT keeps charging that wait.
+        """
+        return []
 
 
 def _arrival_slack(t: float) -> float:
@@ -104,12 +145,20 @@ class _TimelineCollector(Instrumentation):
     consumer of the instrumentation stream: the simulator attaches this
     collector (alongside any user-supplied sink) instead of maintaining
     a bespoke parallel timeline.
+
+    ``limit`` bounds memory for long-running (service-mode) runs: only
+    the most recent ``limit`` epochs are kept in a ring buffer.  The
+    default (None) keeps every epoch, unchanged for batch runs.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.epochs: list[Epoch] = []
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError(f"timeline limit must be positive, got {limit}")
+        self.epochs: "deque[Epoch] | list[Epoch]" = (
+            deque(maxlen=limit) if limit is not None else []
+        )
 
     def epoch(self, *, start, duration, active_flows, aggregate_rate,
               detail=None):
@@ -226,6 +275,10 @@ class CoflowSimulator:
         ``SimulationResult.epochs`` (memory grows with epochs).  When
         False (the default) ``epochs`` stays empty -- only ``n_epochs``
         counts the iterations.
+    timeline_limit:
+        With ``record_timeline=True``, keep only the most recent this
+        many epochs (ring buffer) so long-running service-mode runs have
+        bounded timeline memory.  None (the default) keeps every epoch.
     dynamics:
         Optional schedule of mid-run port-rate changes (and failures).
     recovery:
@@ -299,6 +352,7 @@ class CoflowSimulator:
         instrumentation: "Instrumentation | None" = None,
         wall_clock_budget_s: float | None = None,
         stall_epochs: int | None = DEFAULT_STALL_EPOCHS,
+        timeline_limit: int | None = None,
     ) -> None:
         if wall_clock_budget_s is not None and wall_clock_budget_s <= 0:
             raise ValueError(
@@ -312,6 +366,7 @@ class CoflowSimulator:
         self.fabric = fabric
         self.scheduler = scheduler
         self.record_timeline = record_timeline
+        self.timeline_limit = timeline_limit
         self.max_epochs = max_epochs
         self.wall_clock_budget_s = wall_clock_budget_s
         self.stall_epochs = stall_epochs or 0
@@ -345,13 +400,15 @@ class CoflowSimulator:
         *,
         injector: "Callable[[int, float], list[Coflow]] | None" = None,
         on_abort: "Callable[[int, float], list[Coflow]] | None" = None,
+        source: "ArrivalSource | None" = None,
     ) -> SimulationResult:
         """Simulate the given coflows to completion and return the result.
 
         Parameters
         ----------
         coflows:
-            Initially known coflows.
+            Initially known coflows.  May be empty when a ``source`` is
+            attached (the open-loop service mode starts cold).
         injector:
             Optional callback ``injector(completed_coflow_id, time)``
             invoked whenever a coflow finishes; any coflows it returns
@@ -366,9 +423,20 @@ class CoflowSimulator:
             ``injector``.  This is how the job-level fault-tolerance
             layer resubmits a failed stage (retried or replanned) as a
             fresh attempt.
+        source:
+            Optional :class:`ArrivalSource` polled at the top of every
+            epoch: ``source.take(t, slack)`` returns coflows released at
+            or before ``t`` and ``source.next_time(t)`` bounds the epoch
+            length so no arrival is overshot.  Unlike ``injector``
+            coflows, source releases may carry an ``arrival_time`` in
+            the *past* -- an admission policy that deferred a coflow
+            releases it late on purpose, and the CCT must keep charging
+            the queueing delay.  The run ends only when the source is
+            exhausted (``next_time`` returns None and ``take`` drains
+            empty) and no flows remain.
         """
         coflows = list(coflows)
-        if not coflows:
+        if not coflows and source is None:
             return SimulationResult({}, {}, 0.0, 0.0)
         coflows = [self._with_id(c, i) for i, c in enumerate(coflows)]
         ids = [c.coflow_id for c in coflows]
@@ -389,7 +457,7 @@ class CoflowSimulator:
         obs: Instrumentation | None = self.instrumentation
         collector: _TimelineCollector | None = None
         if self.record_timeline:
-            collector = _TimelineCollector()
+            collector = _TimelineCollector(self.timeline_limit)
             obs = (
                 collector
                 if obs is None
@@ -462,8 +530,16 @@ class CoflowSimulator:
                     name=c.name,
                 )
 
-        def admit(new: list[Coflow], now: float) -> None:
-            """Validate and admit callback-provided coflows mid-run."""
+        def admit(
+            new: list[Coflow], now: float, *, allow_past: bool = False
+        ) -> None:
+            """Validate and admit callback-provided coflows mid-run.
+
+            ``allow_past`` relaxes the no-time-travel check for source
+            releases: a deferred coflow keeps its original arrival time
+            (before ``now``) so its CCT honestly includes the queueing
+            delay the admission policy imposed.
+            """
             nonlocal total_bytes
             if not new:
                 return
@@ -473,7 +549,7 @@ class CoflowSimulator:
                         f"injected coflow needs a fresh non-negative id, "
                         f"got {c.coflow_id}"
                     )
-                if c.arrival_time < now - 1e-9:
+                if not allow_past and c.arrival_time < now - 1e-9:
                     raise ValueError(
                         f"injected coflow {c.coflow_id} arrives in the past "
                         f"({c.arrival_time} < {now})"
@@ -691,6 +767,11 @@ class CoflowSimulator:
             # the ULP at ``t`` so boundary arrivals are admitted on time
             # even at large simulation clocks (see :func:`_arrival_slack`).
             slack = _arrival_slack(t)
+            if source is not None:
+                # Open-loop arrivals: whatever the source releases at (or
+                # before) ``t`` joins the pending heap now, ahead of the
+                # drain below, so a release is admitted the same epoch.
+                admit(source.take(t, slack), t, allow_past=True)
             while pending and pending[0][0] <= t + slack:
                 _, _, cf = heapq.heappop(pending)
                 if track:
@@ -760,6 +841,10 @@ class CoflowSimulator:
                 waits = []
                 if pending:
                     waits.append(pending[0][0])
+                if source is not None:
+                    nxt_src = source.next_time(t)
+                    if nxt_src is not None:
+                        waits.append(nxt_src)
                 if dynamics is not None:
                     nxt = dynamics.next_event_time(t)
                     if nxt is not None:
@@ -811,6 +896,10 @@ class CoflowSimulator:
                 dt_complete = np.inf
             dt_arrival = pending[0][0] - t if pending else np.inf
             dt = min(dt_complete, dt_arrival)
+            if source is not None:
+                nxt_src = source.next_time(t)
+                if nxt_src is not None:
+                    dt = min(dt, max(nxt_src - t, 0.0))
             hint = self.scheduler.next_event_hint(ctx, rates)
             if hint is not None and hint > 1e-12:
                 dt = min(dt, hint)
@@ -952,7 +1041,7 @@ class CoflowSimulator:
             ccts=ccts,
             makespan=makespan,
             total_bytes=total_bytes,
-            epochs=collector.epochs if collector is not None else [],
+            epochs=list(collector.epochs) if collector is not None else [],
             failures=list(recovery.records) if recovery is not None else [],
             failed_coflows=(
                 dict(recovery.failed_coflows) if recovery is not None else {}

@@ -18,6 +18,7 @@ simulator, schedulers, planners and job executor:
 
 from repro.obs.exporters import (
     TRACE_FORMATS,
+    StreamingTracer,
     read_jsonl,
     to_chrome_trace,
     write_chrome_trace,
@@ -38,6 +39,7 @@ from repro.obs.stats import (
     names_from_trace,
     render_summary,
     result_from_trace,
+    steady_state_stats,
     summarize_trace,
 )
 
@@ -48,6 +50,7 @@ __all__ = [
     "Instrumentation",
     "MetricsRegistry",
     "MultiInstrumentation",
+    "StreamingTracer",
     "TRACE_FORMATS",
     "Tracer",
     "git_describe",
@@ -57,6 +60,7 @@ __all__ = [
     "render_summary",
     "repro_header",
     "result_from_trace",
+    "steady_state_stats",
     "summarize_trace",
     "to_chrome_trace",
     "write_chrome_trace",

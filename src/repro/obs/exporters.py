@@ -24,6 +24,7 @@ from repro.obs.instrument import Tracer
 from repro.obs.metrics import MetricsRegistry, render_prometheus
 
 __all__ = [
+    "StreamingTracer",
     "write_jsonl",
     "read_jsonl",
     "to_chrome_trace",
@@ -83,6 +84,68 @@ def read_jsonl(
         else:
             events.append(record)
     return header, events
+
+
+class StreamingTracer(Tracer):
+    """A :class:`Tracer` that flushes its events to a JSONL file as it goes.
+
+    The plain tracer accumulates every event in RAM, which is fine for
+    batch runs but unbounded for the open-loop service mode (millions of
+    epochs).  This variant writes the reproducibility header line on
+    construction and appends events to the file every ``flush_every``
+    emissions, keeping at most that many events in memory.  The on-disk
+    result is byte-identical to :func:`write_jsonl` of an equivalent
+    in-RAM tracer; :func:`read_jsonl` reads it back unchanged.
+
+    The metrics registry still aggregates over the *whole* run (it is
+    O(metric names), not O(events)), so ``ccf stats``-style counters
+    survive the flushes.  ``close()`` flushes the tail and closes the
+    file; it is idempotent.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        flush_every: int = 4096,
+        header: dict[str, Any] | None = None,
+        sample_ports: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if flush_every <= 0:
+            raise ValueError(
+                f"flush_every must be positive, got {flush_every}"
+            )
+        super().__init__(
+            header=header, sample_ports=sample_ports, metrics=metrics
+        )
+        self.path = Path(path)
+        self.flush_every = int(flush_every)
+        self.events_written = 0
+        self._fh = self.path.open("w")
+        self._fh.write(json.dumps({"kind": "header", **self.header}) + "\n")
+
+    def _emit(self, kind: str, t: float, **fields: Any) -> None:
+        super()._emit(kind, t, **fields)
+        if len(self.events) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Append buffered events to the file and drop them from RAM."""
+        if self._fh.closed or not self.events:
+            return
+        self._fh.write(
+            "".join(json.dumps(e) + "\n" for e in self.events)
+        )
+        self._fh.flush()
+        self.events_written += len(self.events)
+        self.events.clear()
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self.flush()
+        self._fh.close()
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,8 @@ Event stream schema (one dict per event, ``kind`` discriminates)::
     platform_event t, event (retry | cell_timeout | worker_crash |
                    pool_rebuild | quarantine | interrupt), experiment,
                    cell, attempt, detail
+    admission      t, decision (admit | defer | shed), cid, volume,
+                   reason, policy
 
 Times are simulation seconds except ``wall_s`` (planner wall-clock) and
 ``platform_event`` times, which are wall-clock unix seconds: platform
@@ -165,6 +167,24 @@ class Instrumentation:
 
         ``time`` is wall-clock unix seconds, not simulation time: these
         events belong to the machinery running the experiment.
+        """
+
+    # -- admission control (service mode) --------------------------------
+    def admission(
+        self,
+        decision: str,
+        *,
+        time: float,
+        cid: int,
+        volume: float = 0.0,
+        reason: str = "",
+        policy: str = "",
+    ) -> None:
+        """An overload-control policy ruled on an arriving coflow.
+
+        ``decision`` is ``admit`` / ``defer`` / ``shed``; ``reason`` is
+        the policy's short explanation (e.g. ``queue_full``,
+        ``watermark``, ``slo_breach``).  Simulation time.
         """
 
     def close(self) -> None:
@@ -359,6 +379,19 @@ class Tracer(Instrumentation):
             attempt=int(attempt), detail=str(detail),
         )
 
+    def admission(self, decision, *, time, cid, volume=0.0, reason="",
+                  policy=""):
+        self.metrics.counter(
+            "admission_decisions_total",
+            "service-mode admission rulings by decision",
+            labels={"decision": decision},
+        ).inc()
+        self._emit(
+            "admission", time,
+            decision=str(decision), cid=int(cid), volume=float(volume),
+            reason=str(reason), policy=str(policy),
+        )
+
 
 class MultiInstrumentation(Instrumentation):
     """Fan one emission stream out to several sinks."""
@@ -428,6 +461,10 @@ class MultiInstrumentation(Instrumentation):
     def platform_event(self, event, **kw):
         for c in self.children:
             c.platform_event(event, **kw)
+
+    def admission(self, decision, **kw):
+        for c in self.children:
+            c.admission(decision, **kw)
 
     def close(self):
         for c in self.children:

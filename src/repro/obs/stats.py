@@ -29,6 +29,7 @@ __all__ = [
     "result_from_trace",
     "names_from_trace",
     "render_summary",
+    "steady_state_stats",
 ]
 
 
@@ -220,9 +221,98 @@ def summarize_trace(
             "aborted_coflows": len(result.failed_coflows),
         },
         "platform": _platform_counters(events),
+        "admission": _admission_counters(events),
         "ports": _port_attribution(events, top_k_ports),
     }
+    steady = steady_state_stats(
+        [
+            (e["t"] - e["cct"], e["cct"])
+            for e in events
+            if e["kind"] == "coflow_complete"
+        ]
+    )
+    if steady is not None:
+        summary["cct_steady_seconds"] = steady
     return summary
+
+
+def steady_state_stats(
+    samples: Sequence[tuple[float, float]],
+    *,
+    batches: int = 20,
+    min_samples: int = 40,
+) -> dict[str, Any] | None:
+    """Post-transient percentiles of a ``(time, value)`` sample stream.
+
+    Open-loop runs start empty, so early CCTs are unrepresentatively
+    fast; reporting the raw distribution understates steady-state
+    latency.  This applies an MSER-style truncation: samples (sorted by
+    time) are split into ``batches`` equal batches, and the warm-up
+    cut is the batch boundary -- at most halfway in -- that minimizes
+    the standard error of the remaining batch means.  Returns the
+    percentiles of the retained samples plus the cut:
+
+    ``{"p50", "p95", "p99", "mean", "max", "warmup_s", "warmup_samples",
+    "samples"}``
+
+    or None when there are fewer than ``min_samples`` samples (too few
+    to call any window "steady").  Deterministic: no RNG involved.
+    """
+    if len(samples) < max(min_samples, 2 * batches):
+        return None
+    ordered = sorted(samples)
+    values = np.asarray([v for _, v in ordered], dtype=float)
+    n = len(values)
+    batch = n // batches
+    means = np.array(
+        [values[i * batch : (i + 1) * batch].mean() for i in range(batches)]
+    )
+    best_k, best_sem = 0, np.inf
+    for k in range(batches // 2 + 1):
+        tail = means[k:]
+        sem = float(tail.std(ddof=0)) / np.sqrt(len(tail))
+        if sem < best_sem - 1e-15:
+            best_sem, best_k = sem, k
+    cut = best_k * batch
+    kept = values[cut:]
+    out = _percentiles(list(kept))
+    out["warmup_s"] = float(ordered[cut][0] - ordered[0][0]) if cut else 0.0
+    out["warmup_samples"] = int(cut)
+    out["samples"] = int(len(kept))
+    return out
+
+
+def _admission_counters(
+    events: Sequence[dict[str, Any]],
+) -> dict[str, Any] | None:
+    """Admission-control rulings from ``admission`` records, if any.
+
+    Service-mode traces (``ccf serve --trace``) interleave the
+    overload-control policy's decisions with the simulation stream;
+    batch traces have none, in which case the section is ``None`` so
+    old traces summarize exactly as before.
+    """
+    counts: dict[str, int] = {}
+    shed_bytes = 0.0
+    policy = ""
+    for e in events:
+        if e.get("kind") != "admission":
+            continue
+        decision = e.get("decision", "unknown")
+        counts[decision] = counts.get(decision, 0) + 1
+        if decision == "shed":
+            shed_bytes += float(e.get("volume", 0.0))
+        policy = e.get("policy") or policy
+    if not counts:
+        return None
+    ruled = sum(counts.values())
+    shed = counts.get("shed", 0)
+    return {
+        "policy": policy,
+        "decisions": counts,
+        "shed_fraction": shed / ruled if ruled else 0.0,
+        "shed_bytes": shed_bytes,
+    }
 
 
 def _platform_counters(
@@ -271,6 +361,24 @@ def render_summary(summary: dict[str, Any]) -> str:
         f"p99={_fmt_s(p['p99'])}  mean={_fmt_s(p['mean'])}  "
         f"max={_fmt_s(p['max'])}"
     )
+    steady = summary.get("cct_steady_seconds")
+    if steady:
+        lines.append(
+            f"CCT steady-state (s): p50={_fmt_s(steady['p50'])}  "
+            f"p95={_fmt_s(steady['p95'])}  p99={_fmt_s(steady['p99'])}  "
+            f"(warm-up {_fmt_s(steady['warmup_s'])} s, "
+            f"{steady['warmup_samples']} samples excluded)"
+        )
+    admission = summary.get("admission")
+    if admission:
+        rulings = ", ".join(
+            f"{k}={v}" for k, v in sorted(admission["decisions"].items())
+        )
+        policy = admission.get("policy") or "unknown"
+        lines.append(
+            f"admission ({policy}): {rulings}; shed fraction "
+            f"{admission['shed_fraction']:.1%}"
+        )
     lines.append(
         f"makespan: {_fmt_s(summary['makespan_seconds'])} s over "
         f"{summary['epochs']['count']} epochs "

@@ -82,14 +82,22 @@ def _draw_bin(rng: np.random.Generator) -> tuple[str, tuple[int, int], tuple[flo
 
 
 def generate_coflow_mix(
-    config: CoflowMixConfig, *, rate_for_deadlines: float = 128e6
+    config: CoflowMixConfig,
+    *,
+    rate_for_deadlines: float = 128e6,
+    rng: np.random.Generator | None = None,
 ) -> list[Coflow]:
     """Generate the synthetic coflow trace.
 
     ``rate_for_deadlines`` is the port rate used to convert a coflow's
     bottleneck bytes into the base time its deadline slack multiplies.
+    ``rng`` lets a caller hand in an already-spawned generator (e.g. one
+    derived through ``repro.experiments.engine.derive_seed``) so service
+    and sweep seeding compose; omitted, ``config.seed`` is used exactly
+    as before.
     """
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
     coflows: list[Coflow] = []
     t = 0.0
     for cid in range(config.n_coflows):

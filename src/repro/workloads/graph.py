@@ -50,19 +50,30 @@ class GraphConfig:
             raise ValueError("edge_probability must be in (0, 1]")
 
 
-def generate_edges(config: GraphConfig) -> np.ndarray:
+def generate_edges(
+    config: GraphConfig, *, rng: np.random.Generator | None = None
+) -> np.ndarray:
     """Oriented edge list, shape ``(m, 2)`` with ``src < dst``."""
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
     v = config.n_vertices
     iu = np.triu_indices(v, k=1)
     mask = rng.random(iu[0].size) < config.edge_probability
     return np.stack([iu[0][mask], iu[1][mask]], axis=1).astype(np.int64)
 
 
-def generate_edge_relation(config: GraphConfig) -> KeyedRelation:
-    """The sharded edge relation with columns ``src`` and ``dst``."""
+def generate_edge_relation(
+    config: GraphConfig, *, rng: np.random.Generator | None = None
+) -> KeyedRelation:
+    """The sharded edge relation with columns ``src`` and ``dst``.
+
+    ``rng`` replaces the *placement* stream only (the edge structure
+    stays a pure function of ``config.seed``), so a spawned generator
+    composes with the edge list staying comparable across runs.
+    """
     edges = generate_edges(config)
-    rng = np.random.default_rng(config.seed + 1)
+    if rng is None:
+        rng = np.random.default_rng(config.seed + 1)
     w = zipf_weights(config.n_nodes, config.zipf_s)
     nodes = place_tuples(edges.shape[0], w, rng)
     return KeyedRelation.from_rows(

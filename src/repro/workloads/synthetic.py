@@ -45,11 +45,18 @@ def lognormal_workload(
     density: float = 0.3,
     rate: float = 128e6,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> ShuffleModel:
-    """Sparse log-normal chunk sizes (heavy tail, independent cells)."""
+    """Sparse log-normal chunk sizes (heavy tail, independent cells).
+
+    ``rng`` overrides ``seed`` with an already-spawned generator so
+    composed pipelines (service mode, sweep cells) share one seeding
+    scheme; omitted, behaviour is unchanged.
+    """
     if not 0 < density <= 1:
         raise ValueError("density must be in (0, 1]")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     h = rng.lognormal(mean=mean, sigma=sigma, size=(n_nodes, partitions))
     h *= rng.random((n_nodes, partitions)) < density
     return ShuffleModel(h=h, rate=rate, name="lognormal")
@@ -63,11 +70,13 @@ def clustered_workload(
     chunk_mb: float = 10.0,
     rate: float = 128e6,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> ShuffleModel:
     """Each partition's bytes live on a few random holder nodes."""
     if not 1 <= holders_per_partition <= n_nodes:
         raise ValueError("holders_per_partition out of range")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     h = np.zeros((n_nodes, partitions))
     for k in range(partitions):
         holders = rng.choice(n_nodes, size=holders_per_partition, replace=False)
@@ -83,13 +92,15 @@ def bimodal_workload(
     ratio: float = 100.0,
     rate: float = 128e6,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> ShuffleModel:
     """Mostly small partitions plus a few ``ratio``-times-larger ones."""
     if not 0 <= huge_fraction <= 1:
         raise ValueError("huge_fraction must be in [0, 1]")
     if ratio < 1:
         raise ValueError("ratio must be >= 1")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     base = rng.uniform(0.5, 1.5, size=(n_nodes, partitions)) * 1e6
     huge = rng.random(partitions) < huge_fraction
     base[:, huge] *= ratio

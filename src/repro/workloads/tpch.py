@@ -95,6 +95,8 @@ class TPCHConfig:
 
 def generate_tpch_relations(
     config: TPCHConfig,
+    *,
+    rng: np.random.Generator | None = None,
 ) -> tuple[DistributedRelation, DistributedRelation]:
     """Generate (CUSTOMER, ORDERS) distributed relations.
 
@@ -102,8 +104,12 @@ def generate_tpch_relations(
     draws its CUSTKEY foreign keys uniformly, then skew is injected.  Both
     relations place each tuple on a node drawn from the zipf weights, so
     the expected chunk matrix matches the analytic workload.
+
+    ``rng`` accepts an already-spawned generator (service/sweep seeding
+    via ``derive_seed``); omitted, ``config.seed`` drives the draws.
     """
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
     w = zipf_weights(config.n_nodes, config.zipf_s)
 
     cust_keys = np.arange(1, config.n_customers + 1, dtype=np.int64)
@@ -133,7 +139,9 @@ def generate_tpch_relations(
     return customer, orders
 
 
-def generate_tpch_keyed(config: TPCHConfig):
+def generate_tpch_keyed(
+    config: TPCHConfig, *, rng: np.random.Generator | None = None
+):
     """Generate the keyed three-table schema: CUSTOMER, ORDERS, LINEITEM.
 
     Beyond the paper's two-table join, this models the chained-key case:
@@ -144,7 +152,8 @@ def generate_tpch_keyed(config: TPCHConfig):
     """
     from repro.join.multikey import KeyedRelation
 
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
     w = zipf_weights(config.n_nodes, config.zipf_s)
 
     cust_keys = np.arange(1, config.n_customers + 1, dtype=np.int64)

@@ -127,3 +127,55 @@ class TestOnlineCCF:
         dest = np.array([1, 0], dtype=np.int64)  # both chunks move
         assert loaded.evaluate(dest).bottleneck_bytes == pytest.approx(35.0)
         assert base.evaluate(dest).bottleneck_bytes == pytest.approx(10.0)
+
+
+class TestHistoryPruning:
+    """The drained-shuffle prune that bounds service-mode memory."""
+
+    def hot(self):
+        h = np.zeros((3, 2))
+        h[0, :] = 25.0
+        h[1, :] = 25.0
+        return ShuffleModel(h=h, rate=1.0)
+
+    def test_long_run_stays_bounded(self):
+        online = OnlineCCF(n_nodes=3)
+        n = OnlineCCF._PRUNE_THRESHOLD + 50
+        # Each submission is spaced far past the previous duration, so
+        # by the time the prune scan runs everything old has drained.
+        for i in range(n):
+            online.submit(self.hot(), time=i * 1e4)
+        assert online.drained_shuffles > 0
+        assert len(online._history) < OnlineCCF._PRUNE_THRESHOLD
+        # Accounting identity: nothing is lost, only moved to the counter.
+        assert len(online._history) + online.drained_shuffles == n
+
+    def test_prune_never_changes_residuals(self):
+        # Two trackers fed the same stream; one is forced to prune by a
+        # tiny threshold.  Residual loads (what the planner sees) agree.
+        eager = OnlineCCF(n_nodes=3)
+        eager._PRUNE_THRESHOLD = 2
+        lazy = OnlineCCF(n_nodes=3)
+        times = [0.0, 1.0, 2.0, 100.0, 101.0, 102.0]
+        for t in times:
+            eager.submit(self.hot(), time=t)
+            lazy.submit(self.hot(), time=t)
+        now = times[-1]
+        np.testing.assert_allclose(
+            eager.residual_loads(now)[0], lazy.residual_loads(now)[0]
+        )
+        np.testing.assert_allclose(
+            eager.residual_loads(now)[1], lazy.residual_loads(now)[1]
+        )
+        assert eager.drained_shuffles > 0
+        assert len(eager.in_flight(now)) == len(lazy.in_flight(now))
+
+    def test_reset_zeroes_the_counter(self):
+        online = OnlineCCF(n_nodes=3)
+        online._PRUNE_THRESHOLD = 1
+        online.submit(self.hot(), time=0.0)
+        online.submit(self.hot(), time=1e4)
+        assert online.drained_shuffles > 0
+        online.reset()
+        assert online.drained_shuffles == 0
+        assert online._history == []

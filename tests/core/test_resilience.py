@@ -97,6 +97,28 @@ class TestBackoff:
         with pytest.raises(ValueError):
             Backoff().base_schedule(0)
 
+    def test_golden_jitter_sequences(self):
+        """Pinned delay sequences: the hash-derived jitter is part of the
+        reproducibility contract (service deferrals replay bit-for-bit),
+        so a change to the jitter derivation must fail loudly here."""
+        a = Backoff(
+            max_attempts=5, base_delay=0.5, multiplier=2.0,
+            max_delay=30.0, jitter=0.1, seed=0,
+        )
+        assert list(a.delays()) == pytest.approx(
+            [0.50711442676, 0.977965347008, 1.993866726139, 4.153213699613]
+        )
+        b = Backoff(
+            max_attempts=6, base_delay=1.0, multiplier=3.0,
+            max_delay=10.0, jitter=0.25, seed=42,
+        )
+        assert list(b.delays()) == pytest.approx(
+            [1.072051952799, 2.523315476325, 6.880743620149,
+             8.959171256009, 8.357291407044]
+        )
+        # The jittered delays stay inside the clamp's jitter envelope.
+        assert all(d <= 10.0 * 1.25 for d in b.delays())
+
 
 class TestRetryCall:
     def test_retries_until_success(self):
@@ -213,6 +235,19 @@ class TestStallDetector:
         assert not det.observe(1.0)  # clock advanced: reset
         det.observe(1.0)
         assert det.observe(1.0)
+
+    def test_stall_then_recover_then_stall(self):
+        # One shy of the bound, recover, and the full budget is back.
+        det = StallDetector(3)
+        det.observe(0.0)
+        for _ in range(2):  # max_stalled - 1 no-progress epochs
+            assert not det.observe(0.0)
+        assert det.stalled == 2
+        assert not det.observe(5.0)  # progress
+        assert det.stalled == 0
+        for _ in range(2):
+            assert not det.observe(5.0)
+        assert det.observe(5.0)  # stalls again: trips at the full bound
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -104,6 +104,7 @@ class TestRegistry:
             "crossover",
             "psweep",
             "chaos",
+            "overload",
             "summary",
         }
 

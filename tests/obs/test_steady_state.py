@@ -1,0 +1,96 @@
+"""MSER-style warm-up truncation + the admission section of ccf stats."""
+
+import numpy as np
+import pytest
+
+from repro.obs import steady_state_stats, summarize_trace
+
+
+def stationary(n=200, level=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(float(t), level + float(rng.normal(0, 0.1)))
+            for t in range(n)]
+
+
+class TestSteadyStateStats:
+    def test_too_few_samples_is_none(self):
+        samples = [(float(t), 1.0) for t in range(39)]
+        assert steady_state_stats(samples, min_samples=40) is None
+        # The 2*batches floor binds even when min_samples is tiny.
+        assert steady_state_stats(samples, batches=20, min_samples=1) is None
+
+    def test_constant_stream_keeps_everything(self):
+        # Identical batch means: no cut lowers the SEM, so the earliest
+        # candidate (no warm-up at all) wins.
+        samples = [(float(t), 10.0) for t in range(200)]
+        out = steady_state_stats(samples)
+        assert out is not None
+        assert out["warmup_samples"] == 0
+        assert out["warmup_s"] == 0.0
+        assert out["samples"] == 200
+        assert out["p50"] == 10.0
+
+    def test_noisy_stationary_stream_keeps_most(self):
+        out = steady_state_stats(stationary())
+        assert out is not None
+        # Noise may nudge the cut off zero, but never past halfway.
+        assert out["warmup_samples"] <= 100
+        assert out["p50"] == pytest.approx(10.0, abs=0.2)
+
+    def test_transient_is_cut(self):
+        # An open-loop ramp: the first quarter of the run is
+        # unrepresentatively fast, then the stream settles high.
+        warm = [(float(t), 0.1 * t) for t in range(50)]
+        steady = stationary(150, level=10.0)
+        steady = [(50.0 + t, v) for t, v in steady]
+        out = steady_state_stats(warm + steady)
+        assert out is not None
+        assert out["warmup_samples"] > 0
+        assert out["warmup_s"] > 0.0
+        # The retained window reflects steady state, not the ramp.
+        assert out["p50"] == pytest.approx(10.0, abs=0.5)
+        overall_p50 = float(
+            np.percentile([v for _, v in warm + steady], 50)
+        )
+        assert out["warmup_samples"] <= len(warm + steady) // 2
+        assert out["p50"] >= overall_p50
+
+    def test_unsorted_input_is_ordered_by_time(self):
+        samples = stationary(100)
+        shuffled = list(reversed(samples))
+        assert steady_state_stats(shuffled) == steady_state_stats(samples)
+
+    def test_deterministic(self):
+        samples = stationary(120, seed=3)
+        assert steady_state_stats(samples) == steady_state_stats(samples)
+
+
+def admission_event(decision, *, volume=0.0, policy="load-shedding"):
+    return {
+        "kind": "admission",
+        "t": 0.0,
+        "decision": decision,
+        "reason": "",
+        "policy": policy,
+        "volume": volume,
+    }
+
+
+class TestAdmissionSection:
+    def test_batch_traces_have_no_section(self):
+        s = summarize_trace([{"kind": "coflow_complete", "t": 1.0,
+                              "cid": 0, "cct": 1.0}])
+        assert s["admission"] is None
+
+    def test_counts_decisions_and_shed_bytes(self):
+        events = (
+            [admission_event("admit")] * 6
+            + [admission_event("defer")] * 2
+            + [admission_event("shed", volume=100.0)] * 2
+        )
+        s = summarize_trace(events)
+        adm = s["admission"]
+        assert adm["policy"] == "load-shedding"
+        assert adm["decisions"] == {"admit": 6, "defer": 2, "shed": 2}
+        assert adm["shed_fraction"] == pytest.approx(0.2)
+        assert adm["shed_bytes"] == pytest.approx(200.0)

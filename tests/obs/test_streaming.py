@@ -1,0 +1,95 @@
+"""StreamingTracer: incremental JSONL flushes, byte-identical output."""
+
+import pytest
+
+from repro.network import Coflow, CoflowSimulator, Fabric, Flow
+from repro.network.schedulers import make_scheduler
+from repro.obs import StreamingTracer, Tracer, read_jsonl, write_jsonl
+
+
+def _coflows():
+    return [
+        Coflow([Flow(0, 1, 4.0), Flow(1, 2, 2.0)], 0.0, coflow_id=0,
+               name="alpha"),
+        Coflow([Flow(2, 0, 3.0)], 1.0, coflow_id=1),
+    ]
+
+
+def _run(tracer):
+    sim = CoflowSimulator(
+        Fabric(n_ports=3, rate=1.0),
+        make_scheduler("sebf"),
+        instrumentation=tracer,
+    )
+    return sim.run(_coflows())
+
+
+HEADER = {"seed": 1, "scheduler": "sebf"}
+
+
+class TestByteIdentity:
+    def test_matches_write_jsonl_of_a_buffered_tracer(self, tmp_path):
+        buffered = Tracer(header=HEADER)
+        _run(buffered)
+        reference = tmp_path / "reference.jsonl"
+        write_jsonl(reference, buffered.events, buffered.header)
+
+        streamed_path = tmp_path / "streamed.jsonl"
+        streaming = StreamingTracer(
+            streamed_path, flush_every=3, header=HEADER
+        )
+        _run(streaming)
+        streaming.close()
+
+        assert streamed_path.read_bytes() == reference.read_bytes()
+
+    def test_flush_every_one(self, tmp_path):
+        path = tmp_path / "eager.jsonl"
+        tracer = StreamingTracer(path, flush_every=1, header=HEADER)
+        _run(tracer)
+        # Every event already hit the disk; close() has nothing to add.
+        before = path.read_bytes()
+        tracer.close()
+        assert path.read_bytes() == before
+
+
+class TestLifecycle:
+    def test_close_drains_ram_and_counts_events(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        tracer = StreamingTracer(path, flush_every=10**6, header=HEADER)
+        _run(tracer)
+        assert tracer.events  # tail still buffered (flush never hit)
+        tracer.close()
+        assert tracer.events == []
+        header, events = read_jsonl(path)
+        assert header == HEADER
+        assert tracer.events_written == len(events)
+        kinds = {e["kind"] for e in events}
+        assert "coflow_complete" in kinds
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = StreamingTracer(path, header=HEADER)
+        _run(tracer)
+        tracer.close()
+        size = path.stat().st_size
+        tracer.close()
+        assert path.stat().st_size == size
+
+    def test_metrics_survive_flushes(self, tmp_path):
+        tracer = StreamingTracer(
+            tmp_path / "m.jsonl", flush_every=1, header=HEADER
+        )
+        _run(tracer)
+        tracer.close()
+        completed = sum(
+            inst.value
+            for name, _kind, _help, family in tracer.metrics.families()
+            if name == "coflows_completed_total"
+            for _labels, inst in family.items()
+        )
+        assert completed == len(_coflows())
+
+    def test_rejects_nonpositive_flush_every(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            StreamingTracer(tmp_path / "x.jsonl", flush_every=0)

@@ -1,0 +1,85 @@
+"""Tests for the capacity planner's bisection searches."""
+
+import pytest
+
+from repro.service import (
+    ArrivalConfig,
+    ServiceConfig,
+    find_load_capacity,
+    find_node_capacity,
+    rate_for_load,
+)
+
+
+def probe_config(**kwargs):
+    arrival = kwargs.pop(
+        "arrival", ArrivalConfig(n_ports=12, max_arrivals=60, seed=7)
+    )
+    return ServiceConfig(arrival=arrival, **kwargs)
+
+
+class TestLoadCapacity:
+    def test_finds_a_knee(self):
+        result = find_load_capacity(
+            probe_config(), budget_s=60.0, lo=0.3, hi=2.0, iters=2
+        )
+        assert result.axis == "load"
+        assert result.best is not None
+        assert 0.3 <= result.best < 2.0
+        # Every probe is recorded: bounds plus the bisection midpoints.
+        assert len(result.probes) == 4
+        assert "p95 CCT" in result.table()
+
+    def test_hopeless_budget_returns_none(self):
+        result = find_load_capacity(
+            probe_config(), budget_s=1e-6, lo=0.3, hi=2.0
+        )
+        assert result.best is None
+        assert len(result.probes) == 1  # lo fails, search stops
+
+    def test_generous_budget_returns_hi(self):
+        result = find_load_capacity(
+            probe_config(), budget_s=1e9, lo=0.3, hi=0.9
+        )
+        assert result.best == 0.9
+        assert len(result.probes) == 2  # both bounds pass, no bisection
+
+    def test_rejects_explicit_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            find_load_capacity(probe_config(rate=1e6), budget_s=60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_load_capacity(probe_config(), budget_s=0.0)
+        with pytest.raises(ValueError):
+            find_load_capacity(probe_config(), budget_s=60.0, lo=2.0, hi=1.0)
+
+
+class TestNodeCapacity:
+    def test_finds_smallest_fabric(self):
+        # A generous fixed rate: even the smallest fabric passes, so the
+        # search answers after probing both bounds.
+        arrival = ArrivalConfig(n_ports=12, max_arrivals=40, seed=7)
+        rate = rate_for_load(arrival, 0.3)
+        result = find_node_capacity(
+            probe_config(arrival=arrival, rate=rate),
+            budget_s=1e9,
+            lo=4,
+            hi=16,
+        )
+        assert result.axis == "nodes"
+        assert result.best == 4
+
+    def test_hopeless_budget_returns_none(self):
+        result = find_node_capacity(
+            probe_config(rate=1.0), budget_s=1e-6, lo=4, hi=8
+        )
+        assert result.best is None
+
+    def test_requires_explicit_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            find_node_capacity(probe_config(), budget_s=60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_node_capacity(probe_config(rate=1.0), budget_s=60.0, lo=1)

@@ -394,3 +394,71 @@ class TestObservabilityCli:
              "--out", str(tmp_path / "r.md")]
         ) == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestExitCodeContract:
+    """docs/architecture.md's exit-code table IS repro.cli.EXIT_CODES."""
+
+    def parse_docs_table(self):
+        import pathlib
+        import re
+
+        text = pathlib.Path("docs/architecture.md").read_text()
+        section = text.split("## CLI exit codes", 1)[1]
+        rows = {}
+        for line in section.splitlines():
+            m = re.match(r"\|\s*(\d+)\s*\|\s*(.+?)\s*\|\s*$", line)
+            if m:
+                rows[int(m.group(1))] = m.group(2)
+        return rows
+
+    def test_docs_table_matches_the_dict(self):
+        from repro.cli import EXIT_CODES
+
+        assert self.parse_docs_table() == EXIT_CODES
+
+    def test_constant_values(self):
+        from repro import cli
+
+        assert cli.EXIT_OK == 0
+        assert cli.EXIT_FAILURE == 1
+        assert cli.EXIT_USAGE == 2
+        assert cli.EXIT_WATCHDOG == 3
+        assert cli.EXIT_SLO_BREACH == 4
+        assert cli.EXIT_INTERRUPTED == 130
+        assert set(cli.EXIT_CODES) == {0, 1, 2, 3, 4, 130}
+
+
+class TestServeCli:
+    def serve_args(self, *extra):
+        return [
+            "serve", "--ports", "12", "--arrivals", "40", "--seed", "7",
+            "--load", "0.6", "--slo", "120", *extra,
+        ]
+
+    def test_parser_accepts_serve_flags(self):
+        args = build_parser().parse_args(
+            self.serve_args("--policy", "bounded-queue", "--watermark", "9")
+        )
+        assert args.policy == "bounded-queue" and args.watermark == 9.0
+
+    def test_healthy_serve_exits_zero(self, capsys):
+        assert main(self.serve_args("--json")) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["arrivals"] == 40
+        assert payload["shed"] == 0
+        assert payload["slo_ok"] is True
+
+    def test_bad_policy_params_exit_usage(self, capsys):
+        rc = main(self.serve_args("--policy", "bounded-queue",
+                                  "--watermark", "-5"))
+        assert rc == 2
+
+    def test_capacity_load_rejects_rate(self, capsys):
+        rc = main([
+            "capacity", "load", "--budget", "60", "--rate", "1e6",
+            "--arrivals", "20",
+        ])
+        assert rc == 2
