@@ -352,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
         "otherwise empty; memory grows with epochs)",
     )
     simulate.add_argument(
+        "--timeline-limit", type=int, default=None, metavar="N",
+        help="with --timeline, keep only the most recent N epochs "
+        "(ring buffer) so long runs stay bounded in memory",
+    )
+    simulate.add_argument(
         "--trace", type=str, default=None, metavar="PATH",
         help="capture the run's event stream and write it to PATH "
         "(coflow lifecycle, epoch samples, port utilization, failures)",
@@ -789,6 +794,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.timeline_limit is not None:
+        if not args.timeline:
+            print(
+                "--timeline-limit only applies with --timeline",
+                file=sys.stderr,
+            )
+            return 2
+        if args.timeline_limit <= 0:
+            print(
+                f"--timeline-limit must be positive, "
+                f"got {args.timeline_limit}",
+                file=sys.stderr,
+            )
+            return 2
+
     from repro.network.simulator import DEFAULT_STALL_EPOCHS
 
     sim = CoflowSimulator(
@@ -798,6 +818,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         recovery=args.recovery,
         estimate_noise=noise,
         record_timeline=args.timeline,
+        timeline_limit=args.timeline_limit,
         instrumentation=tracer,
         max_epochs=args.max_epochs or 10_000_000,
         wall_clock_budget_s=args.wall_clock_budget,
@@ -818,7 +839,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  coflow {cid}: FAILED at t={res.failed_coflows[cid]:.3f} s")
     print(f"average CCT: {res.average_cct:.3f} s, makespan: {res.makespan:.3f} s")
     if args.timeline:
-        print(f"epoch timeline: {len(res.epochs)} epochs recorded")
+        if res.timeline_truncated:
+            print(
+                f"epoch timeline: last {len(res.epochs)} epochs "
+                f"recorded ({res.epochs_dropped} older epochs dropped "
+                f"by --timeline-limit {args.timeline_limit})"
+            )
+        else:
+            print(f"epoch timeline: {len(res.epochs)} epochs recorded")
     else:
         print(
             f"epoch timeline not recorded ({res.n_epochs} epochs ran; "
@@ -1192,6 +1220,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"cannot read trace {args.trace_file}: {exc}", file=sys.stderr)
         return 2
     summary = summarize_trace(events, header, top_k_ports=args.top_ports)
+    if summary["epochs"].get("truncated"):
+        print(
+            f"warning: {args.trace_file}: epoch timeline is truncated "
+            "(oldest samples missing); epoch-derived statistics cover "
+            "only the retained window",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(summary, indent=1))
     else:
@@ -1274,6 +1309,13 @@ def _trace_report_section(path: str) -> list[str] | None:
     summary = summarize_trace(events, header)
     res = result_from_trace(events)
     lines = [f"## Trace summary: `{path}`", ""]
+    if summary["epochs"].get("truncated"):
+        lines += [
+            "> **Note:** the epoch timeline in this trace is truncated "
+            "(oldest samples missing); epoch-derived statistics and the "
+            "Gantt chart cover only the retained window.",
+            "",
+        ]
     if header:
         lines += [
             "Reproducibility header:",
@@ -1355,7 +1397,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(
         f"{s['n_cases']} cases; epoch-throughput speedup "
         f"{s['min_speedup']:.2f}x..{s['max_speedup']:.2f}x "
-        f"(geomean {s['geomean_speedup']:.2f}x); bit-identical: {ident}",
+        f"(geomean {s['geomean_speedup']:.2f}x); "
+        f"{s['n_fleet_cases']} fleet cases (event-horizon geomean "
+        f"{s['fleet_geomean_speedup']:.2f}x); bit-identical: {ident}",
         file=chat,
     )
     if not s["all_bit_identical"]:
@@ -1636,6 +1680,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
             "axis": result.axis,
             "budget_s": result.budget_s,
             "best": result.best,
+            "status": result.status,
             "probes": [vars(p) for p in result.probes],
         }
         print(json.dumps(payload, indent=2))
@@ -1645,16 +1690,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
             f"budget={result.budget_s:.3f} s ({len(result.probes)} probes)"
         )
         print(result.table())
-        if result.best is None:
-            bound = "lower" if result.axis == "load" else "upper"
-            print(f"no capacity: even the {bound} bound breaches the budget")
-        else:
-            label = (
-                "highest sustainable load"
-                if result.axis == "load"
-                else "smallest sufficient fabric"
-            )
-            print(f"{label}: {result.best:g}")
+        print(result.describe())
     return EXIT_OK if result.best is not None else EXIT_FAILURE
 
 

@@ -7,11 +7,18 @@ verifies on every run that the two produce **bit-identical**
 ``SimulationResult``s -- same CCT floats, same epoch counts, same failure
 logs -- across the tier-1 scenarios (plain, chaos, noise, on_abort).
 
-The emitted ``BENCH_simulator.json`` has four sections:
+The emitted ``BENCH_simulator.json`` has five sections:
 
 ``cases``
     End-to-end epoch throughput (epochs/sec) per scheduler x scenario,
     reference vs incremental, with the bit-identity verdict.
+``fleet``
+    Large-fleet service-mode cases (10^4+ flows through ``run_service``
+    under overload with a bounded-queue admission policy) timing the
+    event-horizon path (``batch_events=True``) against the plain epoch
+    loop (``batch_events=False``); both sides run the incremental
+    kernels, so the ratio isolates the rate-reuse win.  Bit-identity is
+    checked the same way as ``cases``.
 ``scaling``
     Wall time against problem size (n_coflows, and the resulting
     n_flows) for one scheduler, showing how the two paths scale.
@@ -46,17 +53,23 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.noise import NoisyEstimates
+from repro.core.resilience import Backoff
 from repro.network import CoflowSimulator, Fabric
 from repro.network.dynamics import FabricDynamics, RateEvent
 from repro.network.events import FlowGroups
 from repro.network.flow import Coflow, Flow
 from repro.network.schedulers import make_scheduler
+from repro.service.arrivals import ArrivalConfig, ArrivalStream
+from repro.service.loop import ServiceConfig, run_service
 from repro.workloads.coflowmix import CoflowMixConfig, generate_coflow_mix
 
 __all__ = [
     "CaseSpec",
+    "FleetSpec",
     "default_cases",
+    "fleet_cases",
     "run_case",
+    "run_fleet_case",
     "run_micro",
     "run_bench",
     "check_regression",
@@ -241,6 +254,167 @@ def run_case(spec: CaseSpec, *, repeats: int = 1) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Large-fleet service-mode cases (event-horizon batching)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One large-fleet service case: an overloaded ``run_service`` run.
+
+    The recipe that makes these cases meaningful: a fast-sharing
+    discipline whose allocation stays valid between fleet changes
+    (``fair``), a ``bounded-queue`` admission policy with a watermark
+    well below the backlog the overload builds, and a fast-cadence
+    retry backoff, so most epochs are deferral re-polls on an unchanged
+    fleet -- exactly the epochs the event-horizon cache elides.
+    """
+
+    scheduler: str
+    size_mix: str
+    n_ports: int
+    users: int
+    max_arrivals: int
+    load: float
+    watermark_s: float
+    queue_limit: int
+    seed: int
+
+    @property
+    def key(self) -> str:
+        return (
+            f"fleet/{self.scheduler}/{self.size_mix}/"
+            f"p{self.n_ports}u{self.users}a{self.max_arrivals}"
+            f"l{self.load:g}w{self.watermark_s:g}"
+            f"q{self.queue_limit}s{self.seed}"
+        )
+
+
+#: Deferral retry cadence for every fleet case: many cheap re-polls
+#: (the workload the horizon cache targets) instead of the policy's
+#: default patient exponential backoff.
+_FLEET_BACKOFF = dict(
+    max_attempts=60,
+    base_delay=0.1,
+    multiplier=1.2,
+    max_delay=1.0,
+    jitter=0.1,
+)
+
+
+def fleet_cases(*, quick: bool = False) -> list[FleetSpec]:
+    """The large-fleet matrix (10^4+ offered flows per full case).
+
+    As with :func:`default_cases`, the quick (CI smoke) case is also
+    part of the full set so its key exists in a full baseline.
+    """
+    quick_cases = [
+        FleetSpec(
+            "fair", "facebook", n_ports=32, users=40, max_arrivals=260,
+            load=1.8, watermark_s=30.0, queue_limit=256, seed=11,
+        )
+    ]
+    if quick:
+        return quick_cases
+    full_cases = [
+        FleetSpec(
+            "fair", "facebook", n_ports=96, users=80, max_arrivals=1000,
+            load=1.8, watermark_s=90.0, queue_limit=1024, seed=7,
+        ),
+        FleetSpec(
+            "fair", "facebook", n_ports=64, users=60, max_arrivals=1200,
+            load=2.0, watermark_s=45.0, queue_limit=1024, seed=5,
+        ),
+        FleetSpec(
+            "fair", "facebook", n_ports=128, users=110, max_arrivals=1300,
+            load=1.9, watermark_s=75.0, queue_limit=1024, seed=17,
+        ),
+        FleetSpec(
+            "fair", "zipf", n_ports=96, users=90, max_arrivals=1300,
+            load=2.0, watermark_s=75.0, queue_limit=2048, seed=3,
+        ),
+        # Deep-deferral regime: the watermark is far below the backlog
+        # the overload builds, so admission re-polls dominate the epoch
+        # count and rate reuse pays off most.
+        FleetSpec(
+            "fair", "facebook", n_ports=80, users=70, max_arrivals=1400,
+            load=2.1, watermark_s=35.0, queue_limit=1024, seed=13,
+        ),
+        FleetSpec(
+            "fair", "facebook", n_ports=64, users=64, max_arrivals=1500,
+            load=2.2, watermark_s=30.0, queue_limit=1536, seed=23,
+        ),
+    ]
+    return quick_cases + full_cases
+
+
+def _fleet_config(spec: FleetSpec, *, batch_events: bool) -> ServiceConfig:
+    return ServiceConfig(
+        arrival=ArrivalConfig(
+            n_ports=spec.n_ports,
+            users=spec.users,
+            max_arrivals=spec.max_arrivals,
+            seed=spec.seed,
+            size_mix=spec.size_mix,
+        ),
+        load=spec.load,
+        scheduler=spec.scheduler,
+        policy="bounded-queue",
+        policy_params={
+            "watermark_s": spec.watermark_s,
+            "queue_limit": spec.queue_limit,
+            "backoff": Backoff(**_FLEET_BACKOFF),
+        },
+        batch_events=batch_events,
+    )
+
+
+def run_fleet_case(spec: FleetSpec, *, repeats: int = 1) -> dict:
+    """Time ``batch_events`` on vs off on one fleet case.
+
+    Both sides run the incremental kernels (the PR 3 path); the ratio
+    therefore isolates the event-horizon rate reuse.  ``n_flows`` counts
+    the *offered* flows of the arrival stream -- admission sheds some of
+    them, identically on both sides.
+    """
+    out: dict = {
+        "scheduler": spec.scheduler,
+        "size_mix": spec.size_mix,
+        "n_ports": spec.n_ports,
+        "users": spec.users,
+        "max_arrivals": spec.max_arrivals,
+        "load": spec.load,
+        "watermark_s": spec.watermark_s,
+        "queue_limit": spec.queue_limit,
+        "seed": spec.seed,
+    }
+    arrival = _fleet_config(spec, batch_events=True).arrival
+    out["n_flows"] = int(sum(len(c) for c in ArrivalStream(arrival)))
+    prints: dict[str, dict] = {}
+    for label, batch in (("ref", False), ("inc", True)):
+        best = math.inf
+        result = None
+        report = None
+        for _ in range(max(1, repeats)):
+            config = _fleet_config(spec, batch_events=batch)
+            t0 = time.perf_counter()
+            report, result, _controller = run_service(config)
+            best = min(best, time.perf_counter() - t0)
+        prints[label] = _fingerprint(result)
+        out[label] = {
+            "wall_s": round(best, 4),
+            "epochs_per_sec": round(result.n_epochs / best, 2),
+        }
+    out["n_epochs"] = prints["inc"]["n_epochs"]
+    out["completed"] = report.completed
+    out["shed"] = report.shed
+    out["deferrals"] = report.deferrals
+    out["bit_identical"] = prints["ref"] == prints["inc"]
+    out["speedup"] = round(out["ref"]["wall_s"] / out["inc"]["wall_s"], 3)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Component microbenchmarks
 # ---------------------------------------------------------------------------
 
@@ -414,6 +588,13 @@ def run_bench(
     for spec in default_cases(quick=quick):
         say(f"case {spec.key} ...")
         cases[spec.key] = run_case(spec, repeats=repeats)
+    fleet: dict[str, dict] = {}
+    for fspec in fleet_cases(quick=quick):
+        say(f"case {fspec.key} ...")
+        # Fleet runs last tens of seconds each, so timer noise is a
+        # rounding error; best-of-1 keeps the full bench's wall time
+        # bounded.
+        fleet[fspec.key] = run_fleet_case(fspec, repeats=1)
     say("microbenchmarks ...")
     micro = run_micro()
     scaling: list[dict] = []
@@ -425,6 +606,7 @@ def run_bench(
     from repro.obs.header import repro_header
 
     speedups = [c["speedup"] for c in cases.values()]
+    fleet_speedups = [c["speedup"] for c in fleet.values()]
     payload = {
         "schema": 1,
         "generated_by": "ccf bench" + (" --quick" if quick else ""),
@@ -436,16 +618,22 @@ def run_bench(
         },
         "config": {"quick": quick, "repeats": repeats},
         "cases": cases,
+        "fleet": fleet,
         "scaling": scaling,
         "micro": micro,
         "summary": {
             "n_cases": len(cases),
+            "n_fleet_cases": len(fleet),
             "all_bit_identical": all(
-                c["bit_identical"] for c in cases.values()
+                c["bit_identical"]
+                for c in (*cases.values(), *fleet.values())
             ),
             "min_speedup": min(speedups),
             "max_speedup": max(speedups),
             "geomean_speedup": round(_geomean(speedups), 3),
+            "fleet_geomean_speedup": round(
+                _geomean(fleet_speedups), 3
+            ),
             "micro_min_speedup": min(
                 m["speedup"] for m in micro.values()
             ),
@@ -470,22 +658,26 @@ def check_regression(
     key; a broken bit-identity verdict is always a failure.
     """
     problems: list[str] = []
-    base_cases = baseline.get("cases", {})
-    for key, case in current.get("cases", {}).items():
-        if not case.get("bit_identical", False):
-            problems.append(f"{key}: reference/incremental results differ")
-        base = base_cases.get(key)
-        if base is None:
-            continue
-        cur_speedup = case["speedup"]
-        base_speedup = base["speedup"]
-        if cur_speedup < base_speedup * (1.0 - tolerance):
-            problems.append(
-                f"{key}: speedup {cur_speedup:.2f}x is more than "
-                f"{tolerance:.0%} below baseline {base_speedup:.2f}x "
-                f"({case['inc']['epochs_per_sec']:.1f} epochs/s now vs "
-                f"{base['inc']['epochs_per_sec']:.1f} recorded)"
-            )
+    for section in ("cases", "fleet"):
+        base_cases = baseline.get(section, {})
+        for key, case in current.get(section, {}).items():
+            if not case.get("bit_identical", False):
+                problems.append(
+                    f"{key}: reference/incremental results differ"
+                )
+            base = base_cases.get(key)
+            if base is None:
+                continue
+            cur_speedup = case["speedup"]
+            base_speedup = base["speedup"]
+            if cur_speedup < base_speedup * (1.0 - tolerance):
+                problems.append(
+                    f"{key}: speedup {cur_speedup:.2f}x is more than "
+                    f"{tolerance:.0%} below baseline "
+                    f"{base_speedup:.2f}x "
+                    f"({case['inc']['epochs_per_sec']:.1f} epochs/s now "
+                    f"vs {base['inc']['epochs_per_sec']:.1f} recorded)"
+                )
     return problems
 
 

@@ -122,11 +122,28 @@ class FabricDynamics:
                     f">= fabric size {fabric.n_ports}"
                 )
 
+    def peek_time(self) -> float | None:
+        """Timestamp of the next unapplied event, or None when drained.
+
+        O(1) and allocation-free -- the simulator's epoch loop calls this
+        (via :meth:`next_event_time`) every epoch.
+        """
+        if self._cursor < len(self.events):
+            return self.events[self._cursor].time
+        return None
+
     def next_event_time(self, now: float) -> float | None:
-        """Earliest unapplied event strictly after ``now``, or None."""
-        for e in self.events[self._cursor:]:
-            if e.time > now + 1e-15:
-                return e.time
+        """Earliest unapplied event strictly after ``now``, or None.
+
+        Events are time-sorted and the cursor never rewinds mid-run, so
+        this walks forward by index from the cursor instead of slicing
+        (the old ``events[cursor:]`` copied the whole remaining schedule
+        on every epoch).
+        """
+        for i in range(self._cursor, len(self.events)):
+            t = self.events[i].time
+            if t > now + 1e-15:
+                return t
         return None
 
     def apply_due(self, fabric: Fabric, now: float) -> bool:

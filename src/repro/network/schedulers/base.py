@@ -74,6 +74,29 @@ class CoflowScheduler(ABC):
         """
         return None
 
+    def rates_valid_until(
+        self, ctx: SchedulingContext, rates: np.ndarray
+    ) -> float:
+        """Absolute time until which the allocation just returned stays valid.
+
+        The simulator's event-horizon path (``batch_events=True``) calls
+        this immediately after :meth:`allocate` and *reuses* the returned
+        rate array on later epochs as long as three things hold: the
+        active flow set is unchanged, the fabric capacities and recovery
+        state are unchanged, and the clock is still strictly before the
+        returned time.  A discipline may return a time beyond
+        ``ctx.time`` only when, under exactly those conditions, a fresh
+        :meth:`allocate` would return a bit-identical array.
+        :meth:`next_event_hint` still runs every epoch with up-to-date
+        ``progress``, so it must not depend on ``allocate`` side effects.
+
+        The base implementation returns ``ctx.time`` -- never reuse --
+        which is the only safe answer for any discipline that reads
+        remaining volumes (MADD-style clairvoyant schedulers re-rank as
+        volumes drain) or mutates internal state in :meth:`allocate`.
+        """
+        return ctx.time
+
     def reset(self) -> None:
         """Clear any cross-epoch state (called once per simulation run)."""
 

@@ -209,6 +209,15 @@ class DCLASScheduler(CoflowScheduler):
             res -= before - slice_res
             np.maximum(res, 0.0, out=res)
 
+    # D-CLAS deliberately does NOT override ``rates_valid_until``: queue
+    # membership advances with attained service, and the hint below
+    # ignores thresholds within a guard band above ``sent`` (the
+    # ``(1 + 1e-12)`` / ``1e-9`` terms), so a coflow parked just under a
+    # threshold is demoted one epoch *after* crossing it, at whatever
+    # boundary the simulator hits next.  A validity horizon computed at
+    # allocation time cannot reproduce that data-dependent lag, so
+    # reusing rates would diverge from the epoch loop bit-for-bit.
+
     def next_event_hint(self, ctx: SchedulingContext, rates: np.ndarray):
         """Time until some coflow's attained service crosses a threshold.
 

@@ -68,3 +68,11 @@ class FairSharingScheduler(CoflowScheduler):
         return maxmin_fill_fast(
             ctx.srcs, ctx.dsts + ctx.fabric.n_ports, res, weights=weights
         )
+
+    def rates_valid_until(
+        self, ctx: SchedulingContext, rates: np.ndarray
+    ) -> float:
+        # The allocation reads only flow endpoints, fabric capacities and
+        # static per-coflow weights -- none of which change while the
+        # active set and fabric are fixed, so it never expires on its own.
+        return np.inf

@@ -48,3 +48,11 @@ class SequentialScheduler(CoflowScheduler):
             ctx.fabric.ingress_rates[ctx.dsts[head]],
         )
         return rates
+
+    def rates_valid_until(
+        self, ctx: SchedulingContext, rates: np.ndarray
+    ) -> float:
+        # The head flow is picked by (arrival, coflow, src, dst) -- all
+        # static for a fixed active set -- and served at the line rate of
+        # its ports, so the allocation holds until the set or fabric moves.
+        return np.inf

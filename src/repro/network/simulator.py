@@ -156,12 +156,16 @@ class _TimelineCollector(Instrumentation):
     def __init__(self, limit: int | None = None) -> None:
         if limit is not None and limit <= 0:
             raise ValueError(f"timeline limit must be positive, got {limit}")
+        self._limit = limit
+        self.dropped = 0
         self.epochs: "deque[Epoch] | list[Epoch]" = (
             deque(maxlen=limit) if limit is not None else []
         )
 
     def epoch(self, *, start, duration, active_flows, aggregate_rate,
               detail=None):
+        if self._limit is not None and len(self.epochs) == self._limit:
+            self.dropped += 1
         self.epochs.append(
             Epoch(
                 start=start,
@@ -216,6 +220,7 @@ class SimulationResult:
     failures: list[FailureRecord] = field(default_factory=list)
     failed_coflows: dict[int, float] = field(default_factory=dict)
     n_epochs: int = 0
+    epochs_dropped: int = 0
 
     @property
     def average_cct(self) -> float:
@@ -234,6 +239,20 @@ class SimulationResult:
     def cct_of(self, coflow_id: int) -> float:
         """CCT of one coflow by id."""
         return self.ccts[coflow_id]
+
+    @property
+    def timeline_truncated(self) -> bool:
+        """True when ``epochs`` is a partial (ring-buffered) timeline.
+
+        A ``timeline_limit`` ring buffer drops the oldest samples once
+        full; ``epochs_dropped`` counts them.  Statistics derived from
+        ``epochs`` -- busy time, mean epoch duration, the Gantt time
+        axis -- describe only the retained window then.  (``n_epochs``
+        cannot stand in for this check: it also counts idle fast-forward
+        iterations that never emit a timeline sample, so it exceeds
+        ``len(epochs)`` even on untruncated runs.)
+        """
+        return self.epochs_dropped > 0
 
     @property
     def bytes_lost(self) -> float:
@@ -303,6 +322,21 @@ class CoflowSimulator:
         runs instead.  Both paths are bit-identical by construction --
         the equivalence is pinned by property tests and re-checked by
         the ``ccf bench`` harness, which times one against the other.
+    batch_events:
+        When True (default) the epoch loop runs event-horizon batching:
+        after each allocation the scheduler reports how long the rate
+        array stays valid (:meth:`CoflowScheduler.rates_valid_until`),
+        and epochs that change neither the active flow set, the fabric,
+        nor the recovery state *reuse* the cached array instead of
+        re-invoking the scheduler.  Epoch boundaries are unchanged --
+        the loop still stops at every completion, arrival, source poll,
+        scheduler hint and fabric event, so results (including
+        ``n_epochs``) are bit-identical to ``batch_events=False``;
+        only the redundant recomputation is skipped.  The win shows on
+        service-mode runs where admission-deferral polls slice the
+        timeline into many epochs with an unchanged fleet.  Pass False
+        to force a fresh allocation every epoch (the escape hatch, and
+        the ``ccf bench`` reference for the large-fleet cases).
     instrumentation:
         Optional :class:`repro.obs.Instrumentation` sink receiving the
         run's event stream: coflow lifecycle transitions (submit ->
@@ -349,6 +383,7 @@ class CoflowSimulator:
         recovery: "RecoveryPolicy | str | None" = None,
         estimate_noise: "NoisyEstimates | None" = None,
         incremental: bool = True,
+        batch_events: bool = True,
         instrumentation: "Instrumentation | None" = None,
         wall_clock_budget_s: float | None = None,
         stall_epochs: int | None = DEFAULT_STALL_EPOCHS,
@@ -372,6 +407,7 @@ class CoflowSimulator:
         self.stall_epochs = stall_epochs or 0
         self.dynamics = dynamics
         self.incremental = incremental
+        self.batch_events = batch_events
         self.instrumentation = (
             instrumentation
             if instrumentation is not None and instrumentation.enabled
@@ -659,6 +695,20 @@ class CoflowSimulator:
                 groups_version = fl.version
             return groups_cache
 
+        # Event-horizon rate cache (batch_events): one allocation is
+        # reused across epochs while (a) the active flow set is unchanged
+        # (``fl.version``), (b) no fabric/recovery mutation occurred since
+        # it was computed (``cache_dirty``) and (c) the clock is strictly
+        # before the scheduler's self-reported validity horizon.  The
+        # epoch *boundaries* are untouched -- only the recomputation is
+        # skipped -- so results are bit-identical to ``batch_events=False``.
+        batch = self.batch_events
+        cached_rates: np.ndarray | None = None
+        cached_positive: np.ndarray | None = None
+        cache_version = -1
+        cache_valid_until = -np.inf
+        cache_dirty = True
+
         t = 0.0
         completion: dict[int, float] = {}
 
@@ -812,12 +862,18 @@ class CoflowSimulator:
             changed = False
             if dynamics is not None:
                 changed = dynamics.apply_due(fabric, t)
+                if changed:
+                    cache_dirty = True
 
             # Fault handling: strand flows pinned to dead ports, resume
             # recovered ones, and apply the recovery policy.
             if recovery is not None and (
                 changed or recovery.any_dead(fabric) or recovery.has_suspended
             ):
+                # The recovery step may strand/resume flows or replan
+                # placements; conservatively invalidate the rate cache
+                # whenever it runs at all.
+                cache_dirty = True
                 aborted, local = recovery.step(fabric, t, fl, progress)
                 for cid in aborted:
                     noise_factors.pop(cid, None)
@@ -880,14 +936,34 @@ class CoflowSimulator:
                 progress=progress,
                 groups=current_groups() if incremental else None,
             )
-            rates = np.asarray(self.scheduler.allocate(ctx), dtype=float)
-            if rates.shape != fl.srcs.shape:
-                raise ValueError(
-                    f"scheduler returned {rates.shape}, expected {fl.srcs.shape}"
-                )
-            fabric.validate_rates(fl.srcs, fl.dsts, rates)
-
-            positive = rates > 0
+            if (
+                batch
+                and cache_version == fl.version
+                and not cache_dirty
+                and t < cache_valid_until
+            ):
+                # Horizon reuse: the discipline promised (through
+                # ``rates_valid_until``) that a fresh allocation would be
+                # bit-identical under these exact conditions.
+                rates = cached_rates
+                positive = cached_positive
+            else:
+                rates = np.asarray(self.scheduler.allocate(ctx), dtype=float)
+                if rates.shape != fl.srcs.shape:
+                    raise ValueError(
+                        f"scheduler returned {rates.shape}, "
+                        f"expected {fl.srcs.shape}"
+                    )
+                fabric.validate_rates(fl.srcs, fl.dsts, rates)
+                positive = rates > 0
+                if batch:
+                    cached_rates = rates
+                    cached_positive = positive
+                    cache_version = fl.version
+                    cache_dirty = False
+                    cache_valid_until = self.scheduler.rates_valid_until(
+                        ctx, rates
+                    )
             if positive.any():
                 dt_complete = float(
                     (fl.remaining[positive] / rates[positive]).min()
@@ -1042,6 +1118,9 @@ class CoflowSimulator:
             makespan=makespan,
             total_bytes=total_bytes,
             epochs=list(collector.epochs) if collector is not None else [],
+            epochs_dropped=(
+                collector.dropped if collector is not None else 0
+            ),
             failures=list(recovery.records) if recovery is not None else [],
             failed_coflows=(
                 dict(recovery.failed_coflows) if recovery is not None else {}

@@ -196,6 +196,21 @@ def summarize_trace(
     for r in result.failures:
         failure_kinds[r.kind] = failure_kinds.get(r.kind, 0) + 1
     epoch_durs = [e.duration for e in result.epochs]
+    # A complete epoch stream begins at the first coflow's arrival (the
+    # loop fast-forwards idle time without emitting samples, but never
+    # skips a *scheduling* epoch).  A first sample later than that means
+    # the head of the timeline is missing -- e.g. the capture went
+    # through a ``timeline_limit`` ring buffer -- and the epoch-derived
+    # statistics below describe only the retained window.
+    if result.epochs:
+        arrivals = [
+            e["arrival"] for e in events if e["kind"] == "coflow_submit"
+        ]
+        origin = min(arrivals) if arrivals else 0.0
+        first = result.epochs[0].start
+        epochs_truncated = first - origin > 1e-9 + 1e-9 * abs(first)
+    else:
+        epochs_truncated = False
     summary: dict[str, Any] = {
         "header": dict(header or {}),
         "events_total": len(events),
@@ -214,6 +229,7 @@ def summarize_trace(
             "mean_duration_s": (
                 float(np.mean(epoch_durs)) if epoch_durs else 0.0
             ),
+            "truncated": epochs_truncated,
         },
         "failures": {
             "by_kind": failure_kinds,
@@ -384,6 +400,13 @@ def render_summary(summary: dict[str, Any]) -> str:
         f"{summary['epochs']['count']} epochs "
         f"(busy {_fmt_s(summary['epochs']['busy_time_s'])} s)"
     )
+    if summary["epochs"].get("truncated"):
+        lines.append(
+            "WARNING: epoch timeline is truncated (oldest samples "
+            "dropped, e.g. by a timeline ring buffer); epoch counts, "
+            "busy time and port attribution cover only the retained "
+            "window"
+        )
     ports = summary.get("ports")
     if ports is None:
         lines.append(

@@ -320,6 +320,13 @@ class AdmissionController(ArrivalSource):
         self._outstanding: dict[int, float] = {}
         self._outstanding_bytes = 0.0
         self._ccts: deque[float] = deque(maxlen=window)
+        # recent_p95 cache: policies consult the state on every ruling,
+        # but the CCT window only moves on completions, which are far
+        # rarer than rulings under backpressure.  The version counter
+        # bumps whenever the window changes, so cached reads return the
+        # exact float a fresh percentile would.
+        self._cct_version = 0
+        self._p95_cache: tuple[int, float | None] = (-1, None)
         #: (arrival_time, cct) per completed admitted coflow, for the
         #: steady-state window (O(arrivals) floats, not O(events)).
         self.cct_samples: list[tuple[float, float]] = []
@@ -376,6 +383,7 @@ class AdmissionController(ArrivalSource):
         self._drop_outstanding(volume)
         self.completed += 1
         self._ccts.append(float(cct))
+        self._cct_version += 1
         self.cct_samples.append((float(time - cct), float(cct)))
 
     def record_abort(self, cid: int, *, time: float) -> None:
@@ -398,9 +406,15 @@ class AdmissionController(ArrivalSource):
     @property
     def recent_p95(self) -> float | None:
         """Sliding-window p95 CCT, or None until enough completions."""
+        version, value = self._p95_cache
+        if version == self._cct_version:
+            return value
         if len(self._ccts) < _MIN_P95_SAMPLES:
-            return None
-        return float(np.percentile(np.asarray(self._ccts), 95))
+            value = None
+        else:
+            value = float(np.percentile(np.asarray(self._ccts), 95))
+        self._p95_cache = (self._cct_version, value)
+        return value
 
     @property
     def backlog_seconds(self) -> float:

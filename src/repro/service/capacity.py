@@ -37,12 +37,46 @@ class CapacityProbe:
 
 @dataclass
 class CapacityResult:
-    """Bisection outcome: the knee plus every probe along the way."""
+    """Bisection outcome: the knee plus every probe along the way.
+
+    ``status`` disambiguates the edge cases a bare ``best`` cannot:
+
+    - ``"knee"`` -- the knee lies strictly inside the probed range and
+      ``best`` is its bisection estimate.
+    - ``"all-ok"`` -- every probe met the budget; ``best`` is the probed
+      bound (``hi`` for load, ``lo`` for nodes) and the true capacity
+      may lie beyond the probed range.
+    - ``"none-ok"`` -- even the most favourable bound breached the
+      budget; ``best`` is None and the search stopped after one probe.
+    """
 
     axis: str
     budget_s: float
     best: float | None
     probes: list[CapacityProbe]
+    status: str = "knee"
+
+    def describe(self) -> str:
+        """One-line human reading of the outcome, edge cases included."""
+        if self.axis == "load":
+            favourable, widen = "lowest probed load", "raise hi"
+            label = "highest sustainable load"
+        else:
+            favourable, widen = "largest probed fabric", "lower lo"
+            label = "smallest sufficient fabric"
+        if self.status == "none-ok":
+            return (
+                f"no capacity in range: even the {favourable} "
+                f"({self.probes[0].value:g}) breaches the "
+                f"{self.budget_s:g} s budget"
+            )
+        if self.status == "all-ok":
+            return (
+                f"{label}: {self.best:g} (budget met at every probe; "
+                f"the true knee may lie outside the probed range -- "
+                f"{widen} to find it)"
+            )
+        return f"{label}: {self.best:g}"
 
     def table(self) -> str:
         """Plain-text probe table (the CLI's output body)."""
@@ -111,11 +145,11 @@ def find_load_capacity(
     lo_probe = _probe(at(lo), budget_s, lo)
     probes.append(lo_probe)
     if not lo_probe.ok:
-        return CapacityResult("load", budget_s, None, probes)
+        return CapacityResult("load", budget_s, None, probes, "none-ok")
     hi_probe = _probe(at(hi), budget_s, hi)
     probes.append(hi_probe)
     if hi_probe.ok:
-        return CapacityResult("load", budget_s, hi, probes)
+        return CapacityResult("load", budget_s, hi, probes, "all-ok")
     best = lo
     for _ in range(iters):
         mid = 0.5 * (lo + hi)
@@ -125,7 +159,7 @@ def find_load_capacity(
             best, lo = mid, mid
         else:
             hi = mid
-    return CapacityResult("load", budget_s, best, probes)
+    return CapacityResult("load", budget_s, best, probes, "knee")
 
 
 def find_node_capacity(
@@ -166,11 +200,11 @@ def find_node_capacity(
     hi_probe = _probe(at(hi), budget_s, hi)
     probes.append(hi_probe)
     if not hi_probe.ok:
-        return CapacityResult("nodes", budget_s, None, probes)
+        return CapacityResult("nodes", budget_s, None, probes, "none-ok")
     lo_probe = _probe(at(lo), budget_s, lo)
     probes.append(lo_probe)
     if lo_probe.ok:
-        return CapacityResult("nodes", budget_s, lo, probes)
+        return CapacityResult("nodes", budget_s, lo, probes, "all-ok")
     best = hi
     low, high = lo, hi  # low breaches, high passes
     while high - low > 1:
@@ -181,4 +215,4 @@ def find_node_capacity(
             best, high = mid, mid
         else:
             low = mid
-    return CapacityResult("nodes", budget_s, best, probes)
+    return CapacityResult("nodes", budget_s, best, probes, "knee")

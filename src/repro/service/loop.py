@@ -81,6 +81,11 @@ class ServiceConfig:
         the named recovery policy.
     wall_clock_budget_s / max_epochs:
         Simulator watchdog budgets (stall detection is always on).
+    batch_events:
+        Forwarded to :class:`~repro.network.simulator.CoflowSimulator`:
+        reuse rate allocations across the (frequent) service-mode epochs
+        that only poll the arrival source without changing the fleet.
+        Default on; results are bit-identical either way.
     window:
         Sliding CCT window length for the ``slo-guard`` signal.
     """
@@ -98,6 +103,7 @@ class ServiceConfig:
     recovery: str = "retry"
     wall_clock_budget_s: float | None = None
     max_epochs: int = 50_000_000
+    batch_events: bool = True
     window: int = 256
 
     def __post_init__(self) -> None:
@@ -281,6 +287,7 @@ def run_service(
         recovery=recovery,
         instrumentation=obs,
         max_epochs=config.max_epochs,
+        batch_events=config.batch_events,
         wall_clock_budget_s=config.wall_clock_budget_s,
     )
     t0 = _time.monotonic()

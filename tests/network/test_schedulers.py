@@ -195,3 +195,26 @@ class TestDCLAS:
         # port, runs t=5..7, and big resumes until t=52.
         assert res.ccts[1] == pytest.approx(6.0)
         assert res.ccts[0] == pytest.approx(52.0)
+
+
+class TestRatesValidUntil:
+    """The event-horizon contract: who may promise reusable rates."""
+
+    def _horizon(self, name):
+        sched = make_scheduler(name)
+        ctx = make_ctx([(0, 1, 4.0, 0), (1, 2, 2.0, 1)])
+        rates = sched.allocate(ctx)
+        return sched.rates_valid_until(ctx, rates)
+
+    def test_fair_and_sequential_never_expire(self):
+        # Their allocations read only endpoints, capacities and static
+        # weights, so under an unchanged active set they hold forever.
+        assert self._horizon("fair") == np.inf
+        assert self._horizon("sequential") == np.inf
+
+    def test_volume_readers_expire_immediately(self):
+        # Anything that ranks on remaining volume or attained service
+        # must keep the conservative default: reuse would freeze ranks
+        # that drain between epochs.
+        for name in ("sebf", "dclas", "scf", "ncf", "wss"):
+            assert self._horizon(name) == 0.0  # == ctx.time

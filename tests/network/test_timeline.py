@@ -63,3 +63,57 @@ class TestTimelineInvariants:
         res = run_recorded([cf], 3)
         for e in res.epochs:
             assert e.active_flows >= 1
+
+
+def _staggered_coflows():
+    """Enough staggered arrivals to produce several epochs."""
+    return [
+        Coflow([Flow(0, 1, 4.0), Flow(1, 2, 2.0)], 0.0, coflow_id=0),
+        Coflow([Flow(2, 0, 3.0)], 1.0, coflow_id=1),
+        Coflow([Flow(1, 0, 2.0)], 2.0, coflow_id=2),
+    ]
+
+
+class TestTimelineRingBuffer:
+    def run_limited(self, limit):
+        sim = CoflowSimulator(
+            Fabric(n_ports=3, rate=1.0),
+            make_scheduler("sebf"),
+            record_timeline=True,
+            timeline_limit=limit,
+        )
+        return sim.run(_staggered_coflows())
+
+    def test_unlimited_is_not_truncated(self):
+        full = run_recorded(_staggered_coflows(), 3)
+        assert len(full.epochs) >= 3
+        assert full.epochs_dropped == 0
+        assert not full.timeline_truncated
+
+    def test_ring_keeps_most_recent_epochs(self):
+        full = run_recorded(_staggered_coflows(), 3)
+        limited = self.run_limited(2)
+        assert len(limited.epochs) == 2
+        assert limited.epochs == full.epochs[-2:]
+        assert limited.epochs_dropped == len(full.epochs) - 2
+        assert limited.timeline_truncated
+
+    def test_generous_limit_drops_nothing(self):
+        full = run_recorded(_staggered_coflows(), 3)
+        limited = self.run_limited(10_000)
+        assert limited.epochs == full.epochs
+        assert limited.epochs_dropped == 0
+        assert not limited.timeline_truncated
+
+    def test_ring_buffer_result_is_a_plain_list(self):
+        # Consumers slice the timeline (gantt windows, ``epochs[-5:]``,
+        # ``epochs[1:]`` pairwise scans) and serialize it; a deque would
+        # raise on slicing, so the result must materialize a list.
+        limited = self.run_limited(2)
+        assert isinstance(limited.epochs, list)
+        assert limited.epochs[1:]
+        assert limited.epochs[-2:] == limited.epochs
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError, match="timeline limit"):
+            self.run_limited(0)

@@ -213,3 +213,56 @@ class TestPlatformCounters:
         assert after["cct_seconds"] == before["cct_seconds"]
         assert after["failures"] == before["failures"]
         assert after["events_total"] == before["events_total"] + 1
+
+
+class TestTruncatedTimeline:
+    """Detection of partial (ring-buffered) epoch streams in traces."""
+
+    def _truncate_epochs(self, events, drop):
+        """Drop the first ``drop`` epoch samples, keep everything else."""
+        seen = 0
+        out = []
+        for e in events:
+            if e["kind"] == "epoch" and seen < drop:
+                seen += 1
+                continue
+            out.append(e)
+        assert seen == drop
+        return out
+
+    def test_complete_trace_is_not_flagged(self):
+        tracer = Tracer()
+        _run(tracer)
+        s = summarize_trace(tracer.events, tracer.header)
+        assert s["epochs"]["truncated"] is False
+        assert "WARNING" not in render_summary(s)
+
+    def test_missing_head_is_flagged(self):
+        tracer = Tracer()
+        _run(tracer)
+        events = self._truncate_epochs(tracer.events, 2)
+        s = summarize_trace(events, tracer.header)
+        assert s["epochs"]["truncated"] is True
+        full = summarize_trace(tracer.events, tracer.header)
+        assert s["epochs"]["count"] == full["epochs"]["count"] - 2
+        text = render_summary(s)
+        assert "WARNING" in text and "truncated" in text
+
+    def test_truncation_does_not_change_coflow_stats(self):
+        # CCTs come from lifecycle events, not epoch samples: the flag
+        # must warn without perturbing the sections that are still exact.
+        tracer = Tracer()
+        _run(tracer)
+        full = summarize_trace(tracer.events, tracer.header)
+        cut = summarize_trace(
+            self._truncate_epochs(tracer.events, 1), tracer.header
+        )
+        assert cut["coflows"] == full["coflows"]
+        assert cut["cct_seconds"] == full["cct_seconds"]
+
+    def test_epochless_trace_is_not_flagged(self):
+        tracer = Tracer()
+        _run(tracer)
+        events = [e for e in tracer.events if e["kind"] != "epoch"]
+        s = summarize_trace(events, tracer.header)
+        assert s["epochs"]["truncated"] is False

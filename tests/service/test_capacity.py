@@ -83,3 +83,54 @@ class TestNodeCapacity:
     def test_validation(self):
         with pytest.raises(ValueError):
             find_node_capacity(probe_config(rate=1.0), budget_s=60.0, lo=1)
+
+
+class TestEdgeStatus:
+    """The result says WHICH edge it hit, not just a bare best value."""
+
+    def test_load_budget_violated_at_min_probe(self):
+        result = find_load_capacity(
+            probe_config(), budget_s=1e-6, lo=0.3, hi=2.0
+        )
+        assert result.status == "none-ok"
+        assert result.best is None
+        assert "breaches" in result.describe()
+        # The failing bound is named so the operator can widen the range.
+        assert "0.3" in result.describe()
+
+    def test_load_budget_met_at_max_probe(self):
+        result = find_load_capacity(
+            probe_config(), budget_s=1e9, lo=0.3, hi=0.9
+        )
+        assert result.status == "all-ok"
+        assert result.best == 0.9
+        assert "outside the probed range" in result.describe()
+
+    def test_load_interior_knee(self):
+        result = find_load_capacity(
+            probe_config(), budget_s=60.0, lo=0.3, hi=2.0, iters=2
+        )
+        assert result.status == "knee"
+        assert "probed range" not in result.describe()
+        assert f"{result.best:g}" in result.describe()
+
+    def test_node_budget_violated_at_max_probe(self):
+        result = find_node_capacity(
+            probe_config(rate=1.0), budget_s=1e-6, lo=4, hi=8
+        )
+        assert result.status == "none-ok"
+        assert result.best is None
+        assert len(result.probes) == 1  # hi fails, search stops
+        assert "largest probed fabric" in result.describe()
+
+    def test_node_budget_met_at_min_probe(self):
+        arrival = ArrivalConfig(n_ports=12, max_arrivals=40, seed=7)
+        result = find_node_capacity(
+            probe_config(arrival=arrival, rate=rate_for_load(arrival, 0.3)),
+            budget_s=1e9,
+            lo=4,
+            hi=16,
+        )
+        assert result.status == "all-ok"
+        assert result.best == 4
+        assert "outside the probed range" in result.describe()

@@ -303,6 +303,77 @@ class TestObservabilityCli:
         assert main(["simulate", plan_file]) == 0
         assert "pass --timeline" in capsys.readouterr().out
 
+    def test_timeline_limit_reports_drops(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--timeline", "--timeline-limit", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "last 2 epochs recorded" in out
+        assert "older epochs dropped" in out
+
+    def test_generous_timeline_limit_is_silent(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--timeline",
+             "--timeline-limit", "100000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epochs recorded" in out
+        assert "dropped" not in out
+
+    def test_timeline_limit_requires_timeline(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--timeline-limit", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--timeline-limit only applies with --timeline" in err
+
+    def test_timeline_limit_must_be_positive(self, plan_file, capsys):
+        assert main(
+            ["simulate", plan_file, "--timeline", "--timeline-limit", "0"]
+        ) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    @staticmethod
+    def _drop_leading_epochs(trace_file, tmp_path, drop):
+        from repro.obs import read_jsonl
+        from repro.obs.exporters import write_jsonl
+
+        header, events = read_jsonl(trace_file)
+        kept, seen = [], 0
+        for e in events:
+            if e["kind"] == "epoch" and seen < drop:
+                seen += 1
+                continue
+            kept.append(e)
+        assert seen == drop
+        path = str(tmp_path / "truncated.jsonl")
+        write_jsonl(path, kept, header)
+        return path
+
+    def test_stats_warns_on_truncated_timeline(
+        self, trace_file, tmp_path, capsys
+    ):
+        cut = self._drop_leading_epochs(trace_file, tmp_path, 2)
+        assert main(["stats", cut]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+        assert "retained window" in captured.err
+
+    def test_stats_is_quiet_on_complete_timeline(self, trace_file, capsys):
+        assert main(["stats", trace_file]) == 0
+        assert "truncated" not in capsys.readouterr().err
+
+    def test_report_marks_truncated_trace(
+        self, trace_file, tmp_path, capsys
+    ):
+        cut = self._drop_leading_epochs(trace_file, tmp_path, 2)
+        out = str(tmp_path / "report.md")
+        assert main(
+            ["report", "--from-trace", cut, "--out", out]
+        ) == 0
+        text = open(out).read()
+        assert "timeline in this trace is truncated" in text
+
     def test_trace_jsonl_readable(self, trace_file):
         from repro.obs import read_jsonl
 

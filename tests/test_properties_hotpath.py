@@ -65,7 +65,7 @@ def _fingerprint(result):
 
 
 def _run(n_ports, coflows, scheduler, *, incremental, dynamics=None,
-         recovery=None, noise=None):
+         recovery=None, noise=None, batch_events=True, source=None):
     sim = CoflowSimulator(
         Fabric(n_ports=n_ports, rate=1.0),
         make_scheduler(scheduler),
@@ -73,9 +73,13 @@ def _run(n_ports, coflows, scheduler, *, incremental, dynamics=None,
         recovery=recovery,
         estimate_noise=noise,
         incremental=incremental,
+        batch_events=batch_events,
     )
-    return sim.run([Coflow(list(c.flows), c.arrival_time, c.coflow_id)
-                    for c in coflows])
+    return sim.run(
+        [Coflow(list(c.flows), c.arrival_time, c.coflow_id)
+         for c in coflows],
+        source=source,
+    )
 
 
 class TestIncrementalBitIdentity:
@@ -136,6 +140,155 @@ class TestIncrementalBitIdentity:
             dynamics=FabricDynamics(list(events)), recovery=policy,
         )
         assert _fingerprint(ref) == _fingerprint(inc)
+
+
+class _ScriptedSource:
+    """Deterministic ``ArrivalSource``: a fixed (release, coflow) script.
+
+    Release times may lag the coflows' ``arrival_time`` (a deferred
+    admission), which is the service-mode shape that produces repeated
+    source-poll epochs on an unchanged fleet -- the exact epochs the
+    event-horizon cache elides.
+    """
+
+    def __init__(self, entries):
+        self.entries = sorted(entries, key=lambda e: e[0])
+        self.i = 0
+
+    def next_time(self, now):
+        for j in range(self.i, len(self.entries)):
+            t = self.entries[j][0]
+            if t > now + 1e-15:
+                return t
+        return None
+
+    def take(self, now, slack):
+        out = []
+        while (
+            self.i < len(self.entries)
+            and self.entries[self.i][0] <= now + slack
+        ):
+            out.append(self.entries[self.i][1])
+            self.i += 1
+        return out
+
+
+@st.composite
+def sourced_workloads(draw):
+    """A workload split between up-front coflows and a release script."""
+    n_ports, coflows = draw(workloads())
+    initial, scripted = [], []
+    for c in coflows:
+        if draw(st.booleans()):
+            # Released at or after its arrival time: the gap is the
+            # admission deferral the CCT keeps charging.
+            delay = draw(st.floats(0.0, 5.0, allow_nan=False))
+            scripted.append((c.arrival_time + delay, c))
+        else:
+            initial.append(c)
+    return n_ports, initial, scripted
+
+
+class TestBatchEventsBitIdentity:
+    """``batch_events=True`` must be a pure performance change.
+
+    The event-horizon path reuses rate allocations across epochs where
+    the fleet, fabric and validity horizon provably allow it; these
+    properties pin that the reuse never changes a single output float,
+    epoch count or failure record relative to ``batch_events=False``.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads(), st.sampled_from(SCHEDULERS))
+    def test_plain(self, wl, scheduler):
+        n_ports, coflows = wl
+        off = _run(n_ports, coflows, scheduler,
+                   incremental=True, batch_events=False)
+        on = _run(n_ports, coflows, scheduler,
+                  incremental=True, batch_events=True)
+        assert _fingerprint(off) == _fingerprint(on)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workloads(),
+        st.sampled_from(("sebf", "fair", "wss")),
+        st.integers(0, 2),
+        st.floats(0.5, 20.0),
+        st.floats(1.0, 30.0),
+        st.sampled_from(("retry", "replan", "abort")),
+    )
+    def test_chaos_schedule(
+        self, wl, scheduler, port, fail_at, downtime, policy
+    ):
+        n_ports, coflows = wl
+        events = [
+            RateEvent.failure(fail_at, port),
+            RateEvent.recovery(
+                fail_at + downtime, port, egress=1.0, ingress=1.0
+            ),
+        ]
+        off = _run(
+            n_ports, coflows, scheduler,
+            incremental=True, batch_events=False,
+            dynamics=FabricDynamics(list(events)), recovery=policy,
+        )
+        on = _run(
+            n_ports, coflows, scheduler,
+            incremental=True, batch_events=True,
+            dynamics=FabricDynamics(list(events)), recovery=policy,
+        )
+        assert _fingerprint(off) == _fingerprint(on)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sourced_workloads(), st.sampled_from(SCHEDULERS))
+    def test_scripted_source(self, wl, scheduler):
+        n_ports, initial, scripted = wl
+        runs = []
+        for batch in (False, True):
+            src = _ScriptedSource(
+                [
+                    (t, Coflow(list(c.flows), c.arrival_time, c.coflow_id))
+                    for t, c in scripted
+                ]
+            )
+            runs.append(
+                _run(n_ports, initial, scheduler,
+                     incremental=True, batch_events=batch, source=src)
+            )
+        assert _fingerprint(runs[0]) == _fingerprint(runs[1])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sourced_workloads(),
+        st.sampled_from(("sebf", "dclas", "fair")),
+        st.integers(0, 2),
+        st.floats(0.5, 20.0),
+    )
+    def test_scripted_source_with_chaos(self, wl, scheduler, port, fail_at):
+        n_ports, initial, scripted = wl
+        events = [
+            RateEvent.failure(fail_at, port),
+            RateEvent.recovery(
+                fail_at + 5.0, port, egress=1.0, ingress=1.0
+            ),
+        ]
+        runs = []
+        for batch in (False, True):
+            src = _ScriptedSource(
+                [
+                    (t, Coflow(list(c.flows), c.arrival_time, c.coflow_id))
+                    for t, c in scripted
+                ]
+            )
+            runs.append(
+                _run(
+                    n_ports, initial, scheduler,
+                    incremental=True, batch_events=batch, source=src,
+                    dynamics=FabricDynamics(list(events)),
+                    recovery="retry",
+                )
+            )
+        assert _fingerprint(runs[0]) == _fingerprint(runs[1])
 
 
 @st.composite
