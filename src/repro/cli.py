@@ -11,6 +11,8 @@ Examples
     $ ccf sweep fig5 --jobs 4
     $ ccf sweep fig7 --quick --jobs 2 --cache-dir .ccf-cache
     $ ccf sweep psweep --resume
+    $ ccf sweep tournament --quick --jobs 2
+    $ ccf tournament --quick --json
     $ ccf plan --nodes 50 --scale-factor 3 --strategy ccf --out plan.json
     $ ccf simulate plan.json --scheduler sebf
     $ ccf simulate plan.json --fail-port 0 --fail-at 1 --recover-at 5 \\
@@ -43,6 +45,7 @@ from repro.experiments.figures import (
 )
 from repro.core.resilience import ResilienceError
 from repro.experiments.registry import EXPERIMENTS, SWEEPS, run_experiment
+from repro.network.schedulers import SCHEDULER_NAMES
 
 __all__ = [
     "main",
@@ -168,6 +171,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard wall-clock bound per cell attempt (default: unlimited)",
     )
 
+    tournament = sub.add_parser(
+        "tournament",
+        help="rank every scheduling discipline on the weighted-CCT "
+        "objective: run the tournament grid (schedulers x workload "
+        "families x weight distributions) through the sweep engine and "
+        "fold it into a scorecard with per-scheduler optimality gaps "
+        "against the interval-indexed LP lower bound",
+    )
+    tournament.add_argument(
+        "--quick", action="store_true",
+        help="reduced smoke grid (10 ports, 10 coflows, facebook mix, "
+        "two weight distributions; still every scheduler)",
+    )
+    tournament.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial fallback path)",
+    )
+    tournament.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="cell-cache root (default: $CCF_CACHE_DIR or "
+        "~/.cache/ccf/sweeps)",
+    )
+    tournament.add_argument(
+        "--no-cache", action="store_true",
+        help="skip cache lookup and write-back entirely",
+    )
+    tournament.add_argument(
+        "--full", action="store_true",
+        help="also print the raw per-instance grid under the scorecard",
+    )
+    tournament.add_argument(
+        "--json", action="store_true",
+        help="emit {scorecard, grid} as JSON instead of tables",
+    )
+    tournament.add_argument(
+        "--markdown", action="store_true",
+        help="render the tables as markdown",
+    )
+    tournament.add_argument(
+        "--csv", action="store_true",
+        help="render the scorecard as CSV",
+    )
+
     chaos = sub.add_parser(
         "chaos",
         help="run the chaos campaign: named fault scenarios (fabric "
@@ -253,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("coflow_file", type=str)
     simulate.add_argument(
         "--scheduler",
-        choices=["fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"],
+        choices=list(SCHEDULER_NAMES),
         default="sebf",
     )
     simulate.add_argument(
@@ -470,8 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gantt_cmd.add_argument(
         "--scheduler",
-        choices=["fair", "wss", "fifo", "scf", "ncf", "sebf", "dclas",
-                 "deadline", "sequential"],
+        choices=list(SCHEDULER_NAMES),
         default="sebf",
     )
     gantt_cmd.add_argument("--rate", type=float, default=128e6)
@@ -496,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--scheduler",
-        choices=["fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"],
+        choices=list(SCHEDULER_NAMES),
         default="sebf",
     )
     serve.add_argument(
@@ -586,7 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     capacity.add_argument(
         "--scheduler",
-        choices=["fair", "fifo", "scf", "ncf", "sebf", "dclas", "sequential"],
+        choices=list(SCHEDULER_NAMES),
         default="sebf",
     )
     capacity.add_argument(
@@ -1103,6 +1148,73 @@ def _report_interrupt(exc: KeyboardInterrupt, cache_dir) -> int:
             file=sys.stderr,
         )
     return EXIT_INTERRUPTED
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    """Run the tournament grid and print the ranked scorecard."""
+    from repro.experiments.engine import CellCache, default_cache_dir, run_sweep
+    from repro.experiments.tournament import scorecard, tournament_sweep
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    cache = None
+    cache_dir = None
+    if not args.no_cache:
+        from pathlib import Path
+
+        cache_dir = (
+            Path(args.cache_dir).expanduser()
+            if args.cache_dir
+            else default_cache_dir()
+        )
+        cache = CellCache(cache_dir)
+
+    spec = tournament_sweep(quick=args.quick)
+    try:
+        outcome = run_sweep(
+            spec,
+            jobs=args.jobs,
+            cache=cache,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except KeyboardInterrupt as exc:
+        return _report_interrupt(exc, cache_dir)
+    print(
+        f"cells: {outcome.n_cells} total | cache hits: {outcome.hits} | "
+        f"executed: {outcome.misses} | jobs: {outcome.jobs} | "
+        f"{outcome.elapsed_seconds:.2f}s "
+        f"cache={cache_dir if cache is not None else 'off'}",
+        file=sys.stderr,
+    )
+    grid = outcome.table
+    card = scorecard(grid)
+    if args.json:
+        import json
+
+        def rows_of(table):
+            return [dict(zip(table.columns, row)) for row in table.rows]
+
+        print(
+            json.dumps(
+                {"scorecard": rows_of(card), "grid": rows_of(grid)},
+                indent=2,
+            )
+        )
+    elif args.csv:
+        print(card.to_csv(), end="")
+    elif args.markdown:
+        print(card.to_markdown())
+        if args.full:
+            print()
+            print(grid.to_markdown())
+    else:
+        print(card.render())
+        if args.full:
+            print()
+            print(grid.render())
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1711,6 +1823,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _cmd_sweep(args)
+
+    if args.command == "tournament":
+        return _cmd_tournament(args)
 
     if args.command == "chaos":
         return _cmd_chaos(args)

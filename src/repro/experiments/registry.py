@@ -49,6 +49,7 @@ from repro.experiments.robustness import (
 from repro.experiments.solver import run_solver_scaling
 from repro.experiments.summary import run_summary
 from repro.experiments.tables import ResultTable
+from repro.experiments.tournament import run_tournament, tournament_sweep
 from repro.experiments.validation import run_model_validation
 
 __all__ = ["EXPERIMENTS", "SWEEPS", "build_sweep", "run_experiment"]
@@ -74,6 +75,7 @@ EXPERIMENTS: dict[str, Callable[[], ResultTable]] = {
     "psweep": run_partition_sweep,
     "chaos": run_chaos,
     "overload": run_overload,
+    "tournament": run_tournament,
     "summary": run_summary,
 }
 
@@ -94,6 +96,7 @@ SWEEPS: dict[str, Callable[..., SweepSpec]] = {
     "psweep": psweep_sweep,
     "chaos": campaign_sweep,
     "overload": overload_sweep,
+    "tournament": tournament_sweep,
 }
 
 #: Sweeps accepting the figure-style --scale-factor / --nodes overrides.

@@ -11,8 +11,13 @@ back-end).  It provides:
 * :mod:`repro.network.simulator` -- an event-driven fluid-flow simulator
   that advances rate allocations between discrete events.
 * :mod:`repro.network.schedulers` -- inter-coflow scheduling disciplines:
-  per-flow fair sharing, FIFO, SCF, NCF, SEBF (Varys), D-CLAS (Aalo) and a
-  worst-case sequential schedule used by the paper's motivating example.
+  per-flow fair sharing, FIFO, SCF, NCF, SEBF (Varys), D-CLAS (Aalo), a
+  worst-case sequential schedule used by the paper's motivating example,
+  and two weighted-CCT schedulers with proven approximation ratios
+  (``wcct5``, ``lpcct``).
+* :mod:`repro.network.bounds` -- the interval-indexed LP lower bound on
+  total weighted CCT, used to report optimality gaps
+  (``ccf tournament``).
 * :mod:`repro.network.topology` -- an optional link-capacity extension
   (RAPIER-flavoured) beyond the non-blocking switch.
 * :mod:`repro.network.dynamics` / :mod:`repro.network.recovery` /
@@ -21,6 +26,11 @@ back-end).  It provides:
   (abort / retry / replan), and a seeded MTBF/MTTR chaos harness.
 """
 
+from repro.network.bounds import (
+    WeightedCCTBound,
+    interval_indexed_lp,
+    weighted_cct_lower_bound,
+)
 from repro.network.chaos import ChaosConfig, chaos_schedule
 from repro.network.dynamics import FabricDynamics, RateEvent
 from repro.network.fabric import Fabric
@@ -47,6 +57,9 @@ __all__ = [
     "ReplanPolicy",
     "RetryPolicy",
     "SimulationResult",
+    "WeightedCCTBound",
     "chaos_schedule",
+    "interval_indexed_lp",
     "make_recovery_policy",
+    "weighted_cct_lower_bound",
 ]

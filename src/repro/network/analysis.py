@@ -51,6 +51,14 @@ class SimulationReport:
     deadline_hit_rate:
         Fraction of deadline-tagged coflows finishing on time (NaN when
         none carry deadlines).
+    weighted_average_cct:
+        Weight-averaged CCT ``sum(w * cct) / sum(w)``.  With unit
+        weights this equals ``average_cct`` bit-for-bit.
+    total_weighted_cct:
+        The weighted-CCT objective ``sum(w * cct)`` the approximation
+        schedulers optimize; divide by the bound from
+        :mod:`repro.network.bounds` (minus the release-time term) for an
+        optimality gap.
     """
 
     average_cct: float
@@ -60,6 +68,8 @@ class SimulationReport:
     utilization: float
     fairness: float
     deadline_hit_rate: float
+    weighted_average_cct: float = 0.0
+    total_weighted_cct: float = 0.0
 
     def summary(self) -> str:
         """One-line human-readable report."""
@@ -68,11 +78,18 @@ class SimulationReport:
             if not np.isnan(self.deadline_hit_rate)
             else ""
         )
+        # Shown only when weights actually shifted the average, so
+        # unit-weight runs keep their historical one-liner verbatim.
+        wt = (
+            f", w-avg CCT {self.weighted_average_cct:.2f}s"
+            if self.weighted_average_cct != self.average_cct
+            else ""
+        )
         return (
             f"avg CCT {self.average_cct:.2f}s (p95 {self.p95_cct:.2f}s), "
             f"slowdown {self.average_slowdown:.2f}x "
             f"(max {self.max_slowdown:.2f}x), "
-            f"util {self.utilization:.0%}, fairness {self.fairness:.2f}{dl}"
+            f"util {self.utilization:.0%}, fairness {self.fairness:.2f}{dl}{wt}"
         )
 
 
@@ -92,6 +109,7 @@ def analyze(
         by_id[cid] = c
 
     ccts = []
+    weights = []
     slowdowns = []
     deadline_total = 0
     deadline_met = 0
@@ -100,6 +118,7 @@ def analyze(
             raise ValueError(f"coflow id {cid} missing from provided coflows")
         c = by_id[cid]
         ccts.append(cct)
+        weights.append(c.weight)
         iso = c.bottleneck(fabric.n_ports, float(fabric.egress_rates.min()))
         if iso > 0:
             slowdowns.append(cct / iso)
@@ -109,7 +128,9 @@ def analyze(
                 deadline_met += 1
 
     ccts_arr = np.asarray(ccts) if ccts else np.zeros(1)
+    w_arr = np.asarray(weights) if weights else np.ones(1)
     slow = np.asarray(slowdowns) if slowdowns else np.ones(1)
+    weighted_sum = float((w_arr * ccts_arr).sum())
     capacity = float(fabric.egress_rates.sum())
     util = (
         result.total_bytes / (result.makespan * capacity)
@@ -126,4 +147,6 @@ def analyze(
         deadline_hit_rate=(
             deadline_met / deadline_total if deadline_total else float("nan")
         ),
+        weighted_average_cct=weighted_sum / float(w_arr.sum()),
+        total_weighted_cct=weighted_sum,
     )

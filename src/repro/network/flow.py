@@ -185,6 +185,7 @@ def coflow_from_matrix(
     coflow_id: int = -1,
     name: str = "",
     min_volume: float = 0.0,
+    weight: float = 1.0,
 ) -> Coflow:
     """Build a :class:`Coflow` from a square volume matrix.
 
@@ -203,4 +204,10 @@ def coflow_from_matrix(
         for i, j in zip(srcs, dsts)
         if i != j
     ]
-    return Coflow(flows=flows, arrival_time=arrival_time, coflow_id=coflow_id, name=name)
+    return Coflow(
+        flows=flows,
+        arrival_time=arrival_time,
+        coflow_id=coflow_id,
+        name=name,
+        weight=weight,
+    )

@@ -16,9 +16,20 @@ Available disciplines (mirroring CoflowSim's catalogue):
 ``deadline``  Varys deadline mode: admission control + just-in-time rates
 ``wss``       Orchestra: size-weighted shuffle scheduling within coflows
 ``sequential``  strict one-flow-at-a-time worst case (paper Fig. 2(a))
+``wcct5``     Shafiee-Ghaderi 5-approx for weighted CCT (permutation + MADD)
+``lpcct``     Qiu/Stein/Zhong LP-ordering scheduler (67/3-approx)
 ============  =====================================================
+
+``wcct5`` and ``lpcct`` carry proven approximation guarantees on the
+total *weighted* completion time; :mod:`repro.network.bounds` computes
+the matching LP lower bound so any run can report its optimality gap
+(see ``ccf tournament``).
 """
 
+from repro.network.schedulers.approx import (
+    LPOrderingScheduler,
+    WeightedApproxScheduler,
+)
 from repro.network.schedulers.base import CoflowScheduler, maxmin_fill
 from repro.network.schedulers.dclas import DCLASScheduler
 from repro.network.schedulers.deadline import DeadlineScheduler
@@ -43,7 +54,12 @@ _REGISTRY = {
     "deadline": DeadlineScheduler,
     "sequential": SequentialScheduler,
     "wss": WSSScheduler,
+    "wcct5": WeightedApproxScheduler,
+    "lpcct": LPOrderingScheduler,
 }
+
+#: All registry names in sorted order -- the CLI's ``choices`` source.
+SCHEDULER_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
 
 
 def make_scheduler(name: str, **kwargs) -> CoflowScheduler:
@@ -63,12 +79,15 @@ __all__ = [
     "DeadlineScheduler",
     "FIFOScheduler",
     "FairSharingScheduler",
+    "LPOrderingScheduler",
     "NCFScheduler",
     "OrderedCoflowScheduler",
     "SCFScheduler",
+    "SCHEDULER_NAMES",
     "SEBFScheduler",
     "SequentialScheduler",
     "WSSScheduler",
+    "WeightedApproxScheduler",
     "make_scheduler",
     "maxmin_fill",
 ]

@@ -564,6 +564,7 @@ class CoflowSimulator:
                     volume=c.total_volume,
                     width=c.width,
                     name=c.name,
+                    weight=c.weight,
                 )
 
         def admit(
@@ -615,6 +616,7 @@ class CoflowSimulator:
                         volume=c.total_volume,
                         width=c.width,
                         name=c.name,
+                        weight=c.weight,
                     )
 
         def inject_after(cid: int, now: float) -> None:

@@ -93,6 +93,7 @@ class Instrumentation:
         volume: float,
         width: int,
         name: str = "",
+        weight: float = 1.0,
     ) -> None:
         """A coflow became known (run start or mid-run injection)."""
 
@@ -271,12 +272,14 @@ class Tracer(Instrumentation):
         self._emit("run_end", time, makespan=float(makespan))
         self._sim_time.set(time)
 
-    def coflow_submit(self, cid, *, time, arrival, volume, width, name=""):
+    def coflow_submit(
+        self, cid, *, time, arrival, volume, width, name="", weight=1.0
+    ):
         self._submitted.inc()
         self._emit(
             "coflow_submit", time,
             cid=int(cid), arrival=float(arrival), volume=float(volume),
-            width=int(width), name=str(name),
+            width=int(width), name=str(name), weight=float(weight),
         )
 
     def coflow_admit(self, cid, *, time):

@@ -122,6 +122,38 @@ def _percentiles(values: list[float]) -> dict[str, float]:
     }
 
 
+def _weighted_percentiles(
+    values: list[float], weights: list[float]
+) -> dict[str, float]:
+    """Weight-aware CCT distribution (lower weighted quantiles).
+
+    ``pNN`` is the smallest value whose cumulative weight reaches NN% of
+    the total -- with unit weights this coincides with the ordinary
+    lower empirical quantile.  ``mean`` is the weighted mean and
+    ``sum`` the weighted-CCT objective ``sum(w * cct)`` the
+    approximation schedulers optimize.
+    """
+    if not values:
+        return {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "mean": 0.0, "max": 0.0, "sum": 0.0,
+        }
+    arr = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    order = np.argsort(arr, kind="stable")
+    arr, w = arr[order], w[order]
+    cum = np.cumsum(w)
+    total = cum[-1]
+    out = {}
+    for q in (50, 95, 99):
+        idx = int(np.searchsorted(cum, q / 100.0 * total, side="left"))
+        out[f"p{q}"] = float(arr[min(idx, arr.size - 1)])
+    out["mean"] = float((w * arr).sum() / total)
+    out["max"] = float(arr.max())
+    out["sum"] = float((w * arr).sum())
+    return out
+
+
 def _port_attribution(
     events: Sequence[dict[str, Any]], top_k: int
 ) -> dict[str, Any] | None:
@@ -240,6 +272,20 @@ def summarize_trace(
         "admission": _admission_counters(events),
         "ports": _port_attribution(events, top_k_ports),
     }
+    # Weighted CCT distribution, present only when some submitted coflow
+    # carries a non-unit weight -- unit-weight traces summarize exactly
+    # as before.
+    trace_weights = {
+        e["cid"]: float(e.get("weight", 1.0))
+        for e in events
+        if e["kind"] == "coflow_submit"
+    }
+    if any(w != 1.0 for w in trace_weights.values()):
+        done = sorted(result.ccts)
+        summary["cct_weighted_seconds"] = _weighted_percentiles(
+            [result.ccts[cid] for cid in done],
+            [trace_weights.get(cid, 1.0) for cid in done],
+        )
     steady = steady_state_stats(
         [
             (e["t"] - e["cct"], e["cct"])
@@ -377,6 +423,13 @@ def render_summary(summary: dict[str, Any]) -> str:
         f"p99={_fmt_s(p['p99'])}  mean={_fmt_s(p['mean'])}  "
         f"max={_fmt_s(p['max'])}"
     )
+    wp = summary.get("cct_weighted_seconds")
+    if wp:
+        lines.append(
+            f"CCT weighted (s): p50={_fmt_s(wp['p50'])}  "
+            f"p95={_fmt_s(wp['p95'])}  p99={_fmt_s(wp['p99'])}  "
+            f"mean={_fmt_s(wp['mean'])}  sum(w*cct)={_fmt_s(wp['sum'])}"
+        )
     steady = summary.get("cct_steady_seconds")
     if steady:
         lines.append(

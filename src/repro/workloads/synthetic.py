@@ -20,6 +20,10 @@ seeds:
 ``adversarial_greedy``
     The known 3x4 instance where Algorithm 1 lands above both baselines
     (found by property testing; fixed by local search).
+``adversarial_locality``
+    The 2x5 instance where the locality tie-break costs 1.6x against
+    Mini -- the worst band violation property testing has found (see
+    docs/algorithms.md, "Known adversarial instances").
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "clustered_workload",
     "bimodal_workload",
     "adversarial_greedy_instance",
+    "adversarial_locality_instance",
 ]
 
 
@@ -122,3 +127,25 @@ def adversarial_greedy_instance(*, rate: float = 1.0) -> ShuffleModel:
         ]
     )
     return ShuffleModel(h=h, rate=rate, name="adversarial-greedy")
+
+
+def adversarial_locality_instance(*, rate: float = 1.0) -> ShuffleModel:
+    """The 2x5 instance where the locality tie-break costs 1.6x vs Mini.
+
+    Algorithm 1 reaches ``T = 8`` where Mini achieves 5 -- the worst
+    band violation property testing has found (still inside the 2x band
+    asserted in ``tests/test_properties.py``).  The mechanism: early
+    ties let the locality rule park partitions 0 and 1 on node 1 "for
+    free", so by the time the symmetric final partition arrives both
+    ports already carry 4 send + 4 recv bytes and either choice pushes
+    a port to 8.  Mini, paying a little extra traffic up front, keeps
+    the loads level at 5.  docs/algorithms.md ("Known adversarial
+    instances") walks through the greedy's trace step by step.
+    """
+    h = np.array(
+        [
+            [0.0, 0.0, 1.0, 4.0, 4.0],
+            [4.0, 4.0, 4.0, 5.0, 4.0],
+        ]
+    )
+    return ShuffleModel(h=h, rate=rate, name="adversarial-locality")

@@ -105,6 +105,7 @@ class TestRegistry:
             "psweep",
             "chaos",
             "overload",
+            "tournament",
             "summary",
         }
 

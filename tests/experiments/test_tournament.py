@@ -1,0 +1,103 @@
+"""The weighted-CCT tournament experiment and its scorecard fold."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import run_sweep
+from repro.experiments.registry import EXPERIMENTS, SWEEPS
+from repro.experiments.tournament import (
+    PROVEN_RATIOS,
+    WEIGHT_DISTRIBUTIONS,
+    WORKLOAD_FAMILIES,
+    _assign_weights,
+    _make_coflows,
+    scorecard,
+    tournament_sweep,
+)
+from repro.network.schedulers import SCHEDULER_NAMES
+
+
+class TestGridDeclaration:
+    def test_registered_as_experiment_and_sweep(self):
+        assert "tournament" in EXPERIMENTS
+        assert "tournament" in SWEEPS
+
+    def test_full_grid_covers_every_axis_combination(self):
+        spec = tournament_sweep()
+        assert len(spec.cells) == (
+            len(SCHEDULER_NAMES)
+            * len(WORKLOAD_FAMILIES)
+            * len(WEIGHT_DISTRIBUTIONS)
+        )
+        labels = {c.label for c in spec.cells}
+        assert len(labels) == len(spec.cells)
+
+    def test_quick_grid_still_covers_every_scheduler(self):
+        spec = tournament_sweep(quick=True)
+        scheds = {c.params["scheduler"] for c in spec.cells}
+        assert scheds == set(SCHEDULER_NAMES)
+        assert len(spec.cells) == 2 * len(SCHEDULER_NAMES)
+
+
+class TestWorkloads:
+    def test_families_are_deterministic(self):
+        for family in WORKLOAD_FAMILIES:
+            a = _make_coflows(family, 8, 6, seed=3)
+            b = _make_coflows(family, 8, 6, seed=3)
+            assert [c.flows for c in a] == [c.flows for c in b]
+            assert [c.arrival_time for c in a] == [c.arrival_time for c in b]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            _make_coflows("nope", 8, 6, seed=0)
+
+    def test_weight_distributions(self):
+        coflows = _make_coflows("uniform", 8, 20, seed=1)
+        unit = _assign_weights(coflows, "unit", seed=0)
+        assert all(c.weight == 1.0 for c in unit)
+        zipf = _assign_weights(coflows, "zipf", seed=0)
+        assert all(1.0 <= c.weight <= 64.0 for c in zipf)
+        assert any(c.weight > 1.0 for c in zipf)
+        classes = _assign_weights(coflows, "classes", seed=0)
+        assert set(c.weight for c in classes) <= {1.0, 4.0}
+        # Reweighting must not touch the flows themselves.
+        assert [c.flows for c in zipf] == [c.flows for c in coflows]
+        with pytest.raises(ValueError, match="distribution"):
+            _assign_weights(coflows, "nope", seed=0)
+
+
+class TestQuickTournament:
+    @pytest.fixture(scope="class")
+    def quick_grid(self):
+        return run_sweep(tournament_sweep(quick=True)).table
+
+    def test_every_gap_is_at_least_one(self, quick_grid):
+        gaps = [float(g) for g in quick_grid.column("gap")]
+        assert all(g >= 1.0 - 1e-9 for g in gaps)
+
+    def test_guaranteed_schedulers_respect_proven_ratios(self, quick_grid):
+        for row in quick_grid.rows:
+            ceiling = PROVEN_RATIOS.get(row[0])
+            if ceiling is not None:
+                assert float(row[6]) <= ceiling, row
+
+    def test_scorecard_ranks_every_scheduler(self, quick_grid):
+        card = scorecard(quick_grid)
+        assert [r[0] for r in card.rows] == list(
+            range(1, len(SCHEDULER_NAMES) + 1)
+        )
+        assert sorted(r[1] for r in card.rows) == sorted(SCHEDULER_NAMES)
+        mean_gaps = [float(r[2]) for r in card.rows]
+        assert mean_gaps == sorted(mean_gaps)
+        assert all(g >= 1.0 - 1e-9 for g in mean_gaps)
+
+    def test_scorecard_wins_cover_every_instance(self, quick_grid):
+        card = scorecard(quick_grid)
+        n_instances = len(
+            {(r[1], r[2]) for r in quick_grid.rows}
+        )
+        wins = np.array([int(r[4]) for r in card.rows])
+        instances = {int(r[5]) for r in card.rows}
+        assert instances == {n_instances}
+        # Every instance has at least one winner; ties can award more.
+        assert wins.sum() >= n_instances

@@ -1,0 +1,167 @@
+"""The interval-indexed LP lower bound (`repro.network.bounds`).
+
+The bound's whole value is its *validity*: no feasible schedule may ever
+beat it.  These tests pin that against every registered scheduler on
+random instances, plus the proven approximation ceilings of the two
+guaranteed schedulers and the basic shape/degenerate-case contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.bounds import (
+    WeightedCCTBound,
+    interval_indexed_lp,
+    weighted_cct_lower_bound,
+)
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import SCHEDULER_NAMES, make_scheduler
+from repro.network.simulator import CoflowSimulator
+
+#: Proven worst-case ratios (with release times) the empirical gaps must
+#: respect: Shafiee-Ghaderi 5x, Qiu/Stein/Zhong 67/3.
+CEILINGS = {"wcct5": 5.0, "lpcct": 67.0 / 3.0}
+
+
+def _random_instance(seed, *, n_ports=5, n_coflows=5):
+    rng = np.random.default_rng(seed)
+    coflows = []
+    arrivals = np.cumsum(rng.exponential(1.0, size=n_coflows))
+    for cid in range(n_coflows):
+        flows = {}
+        for _ in range(int(rng.integers(1, 4))):
+            s, d = rng.choice(n_ports, size=2, replace=False)
+            flows[(int(s), int(d))] = flows.get((int(s), int(d)), 0.0) + float(
+                rng.uniform(0.5, 10.0)
+            )
+        coflows.append(
+            Coflow(
+                flows=[Flow(s, d, v) for (s, d), v in sorted(flows.items())],
+                arrival_time=float(arrivals[cid]),
+                coflow_id=cid,
+                weight=float(rng.integers(1, 8)),
+            )
+        )
+    return coflows, Fabric(n_ports=n_ports, rate=1.0)
+
+
+def _achieved(coflows, result):
+    return sum(c.weight * result.completion_times[c.coflow_id] for c in coflows)
+
+
+class TestIntervalLP:
+    def test_single_coflow_single_port_is_tight(self):
+        # One coflow loading one port with L bytes at rate 1: the optimum
+        # is exactly L, and the LP must find it (up to interval rounding
+        # it can only be *below*).
+        loads = np.array([[8.0]])
+        sol = interval_indexed_lp(
+            loads, np.array([1.0]), np.array([0.0]), np.array([1.0])
+        )
+        assert sol.objective == pytest.approx(8.0)
+        assert sol.completion_times[0] == pytest.approx(8.0)
+
+    def test_empty_instance(self):
+        sol = interval_indexed_lp(
+            np.zeros((0, 2)), np.zeros(0), np.zeros(0), np.ones(2)
+        )
+        assert sol.objective == 0.0
+        assert sol.completion_times.shape == (0,)
+
+    def test_bad_charge_rejected(self):
+        with pytest.raises(ValueError, match="charge"):
+            interval_indexed_lp(
+                np.ones((1, 1)),
+                np.ones(1),
+                np.zeros(1),
+                np.ones(1),
+                charge="nonsense",
+            )
+
+    def test_order_charge_never_exceeds_bound_charge(self):
+        # The ordering variant frees the first interval, so its optimum
+        # is a (weakly) looser bound.
+        rng = np.random.default_rng(3)
+        loads = rng.uniform(0.0, 5.0, size=(4, 3))
+        weights = rng.uniform(1.0, 4.0, size=4)
+        releases = rng.uniform(0.0, 2.0, size=4)
+        rates = np.ones(3)
+        tight = interval_indexed_lp(loads, weights, releases, rates)
+        loose = interval_indexed_lp(
+            loads, weights, releases, rates, charge="order"
+        )
+        assert loose.objective <= tight.objective + 1e-9
+
+    def test_weights_scale_the_objective(self):
+        loads = np.array([[4.0], [4.0]])
+        releases = np.zeros(2)
+        rates = np.ones(1)
+        base = interval_indexed_lp(loads, np.ones(2), releases, rates)
+        doubled = interval_indexed_lp(loads, 2 * np.ones(2), releases, rates)
+        assert doubled.objective == pytest.approx(2 * base.objective)
+
+
+class TestWeightedCCTBound:
+    def test_gap_semantics(self):
+        b = WeightedCCTBound(
+            lower_bound=10.0,
+            isolation_bound=8.0,
+            lp_completion_times={},
+            n_intervals=1,
+        )
+        assert b.gap(15.0) == pytest.approx(1.5)
+        degenerate = WeightedCCTBound(
+            lower_bound=0.0,
+            isolation_bound=0.0,
+            lp_completion_times={},
+            n_intervals=0,
+        )
+        assert degenerate.gap(123.0) == 1.0
+
+    def test_dominates_isolation_bound(self):
+        for seed in range(5):
+            coflows, fabric = _random_instance(seed)
+            b = weighted_cct_lower_bound(coflows, fabric)
+            assert b.lower_bound >= b.isolation_bound - 1e-9
+
+    def test_no_flows_instance(self):
+        # Flow-less coflows complete at their arrival; the bound is the
+        # weighted sum of releases exactly.
+        coflows = [
+            Coflow(flows=[], arrival_time=2.0, coflow_id=0, weight=3.0)
+        ]
+        b = weighted_cct_lower_bound(coflows, Fabric(n_ports=2, rate=1.0))
+        assert b.lower_bound == pytest.approx(6.0)
+
+
+class TestBoundVsSchedulers:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_scheduler_beats_the_bound(self, seed):
+        """Validity: achieved sum(w*C) >= LP bound for every discipline."""
+        coflows, fabric = _random_instance(seed)
+        bound = weighted_cct_lower_bound(coflows, fabric)
+        for name in SCHEDULER_NAMES:
+            sim = CoflowSimulator(fabric, make_scheduler(name))
+            res = sim.run(
+                [
+                    Coflow(
+                        list(c.flows),
+                        c.arrival_time,
+                        c.coflow_id,
+                        weight=c.weight,
+                    )
+                    for c in coflows
+                ]
+            )
+            achieved = _achieved(coflows, res)
+            assert achieved >= bound.lower_bound * (1 - 1e-9), (
+                f"{name} beat the LP lower bound: "
+                f"{achieved} < {bound.lower_bound}"
+            )
+            ceiling = CEILINGS.get(name)
+            if ceiling is not None:
+                assert bound.gap(achieved) <= ceiling, (
+                    f"{name} exceeded its proven ratio: "
+                    f"gap {bound.gap(achieved)} > {ceiling}"
+                )

@@ -1,0 +1,165 @@
+"""Weighted-CCT metrics threaded through analysis, stats and traces.
+
+The weighted objective is an *extension*: at unit weights every surface
+must reproduce the unweighted numbers bit-identically, and coflow
+weights must never perturb the scheduling of weight-oblivious
+disciplines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.analysis import analyze
+from repro.network.fabric import Fabric
+from repro.network.flow import Coflow, Flow
+from repro.network.schedulers import make_scheduler
+from repro.network.simulator import CoflowSimulator
+from repro.obs.instrument import Tracer
+from repro.obs.stats import _weighted_percentiles, summarize_trace
+
+
+@st.composite
+def weighted_workloads(draw, unit_weights=False):
+    n_ports = draw(st.integers(3, 6))
+    n_coflows = draw(st.integers(2, 6))
+    coflows = []
+    for cid in range(n_coflows):
+        flows = []
+        for _ in range(draw(st.integers(1, 3))):
+            src = draw(st.integers(0, n_ports - 1))
+            dst = draw(st.integers(0, n_ports - 2))
+            if dst >= src:
+                dst += 1
+            vol = draw(st.floats(0.1, 10.0, allow_nan=False))
+            flows.append(Flow(src, dst, vol))
+        weight = 1.0 if unit_weights else draw(
+            st.floats(0.5, 8.0, allow_nan=False)
+        )
+        coflows.append(
+            Coflow(
+                flows,
+                draw(st.floats(0.0, 5.0, allow_nan=False)),
+                coflow_id=cid,
+                weight=weight,
+            )
+        )
+    return n_ports, coflows
+
+
+def _run(n_ports, coflows, scheduler="sebf"):
+    fabric = Fabric(n_ports=n_ports, rate=1.0)
+    res = CoflowSimulator(fabric, make_scheduler(scheduler)).run(
+        [Coflow(list(c.flows), c.arrival_time, c.coflow_id, weight=c.weight)
+         for c in coflows]
+    )
+    return fabric, res
+
+
+class TestUnitWeightBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_workloads(unit_weights=True))
+    def test_unit_weights_reproduce_unweighted_cct(self, wl):
+        """At w == 1 the weighted aggregates ARE the unweighted ones."""
+        n_ports, coflows = wl
+        fabric, res = _run(n_ports, coflows)
+        report = analyze(res, coflows, fabric)
+        # Bit-identical, not approximately equal: the weighted mean at
+        # unit weights reduces to the same pairwise reduction np.mean
+        # performs.
+        assert report.weighted_average_cct == report.average_cct
+        # The total is order-sensitive in fp, so only approximate here.
+        assert report.total_weighted_cct == pytest.approx(
+            sum(res.ccts[c.coflow_id] for c in coflows)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_workloads(), st.sampled_from(("sebf", "scf", "fifo")))
+    def test_weights_never_perturb_oblivious_schedulers(self, wl, scheduler):
+        """Weight-oblivious disciplines must ignore ``Coflow.weight``.
+
+        ``fair`` is deliberately absent: it runs *weighted* max-min by
+        default, so coflow weights legitimately change its rates.
+        """
+        n_ports, coflows = wl
+        _, weighted = _run(n_ports, coflows, scheduler)
+        stripped = [
+            Coflow(list(c.flows), c.arrival_time, c.coflow_id, weight=1.0)
+            for c in coflows
+        ]
+        _, unit = _run(n_ports, stripped, scheduler)
+        assert weighted.ccts == unit.ccts
+        assert weighted.completion_times == unit.completion_times
+        assert weighted.n_epochs == unit.n_epochs
+
+
+class TestAnalysisWeighting:
+    def test_weighted_average_weighs_the_heavy_coflow(self):
+        coflows = [
+            Coflow([Flow(0, 1, 10.0)], 0.0, coflow_id=0, weight=1.0),
+            Coflow([Flow(2, 3, 2.0)], 0.0, coflow_id=1, weight=9.0),
+        ]
+        fabric, res = _run(4, coflows)
+        report = analyze(res, coflows, fabric)
+        expected = (1.0 * res.ccts[0] + 9.0 * res.ccts[1]) / 10.0
+        assert report.weighted_average_cct == pytest.approx(expected)
+        assert report.weighted_average_cct < report.average_cct
+
+    def test_summary_mentions_weighted_only_when_it_differs(self):
+        coflows = [
+            Coflow([Flow(0, 1, 5.0)], 0.0, coflow_id=0, weight=1.0),
+            Coflow([Flow(2, 3, 1.0)], 0.0, coflow_id=1, weight=1.0),
+        ]
+        fabric, res = _run(4, coflows)
+        assert "w-avg" not in analyze(res, coflows, fabric).summary()
+        heavy = [
+            Coflow(list(c.flows), c.arrival_time, c.coflow_id, weight=w)
+            for c, w in zip(coflows, (1.0, 7.0))
+        ]
+        fabric, res = _run(4, heavy)
+        assert "w-avg" in analyze(res, heavy, fabric).summary()
+
+
+class TestStatsWeighting:
+    def test_weighted_percentiles_basic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # Weight mass concentrated on the largest value drags every
+        # percentile there.
+        out = _weighted_percentiles(values, [1.0, 1.0, 1.0, 97.0])
+        assert out["p50"] == 4.0
+        assert out["p99"] == 4.0
+        assert out["mean"] == pytest.approx((1 + 2 + 3 + 4 * 97) / 100)
+
+    def test_weighted_percentiles_scale_invariant(self):
+        values = [3.0, 1.0, 2.0]
+        weights = [2.0, 1.0, 3.0]
+        a = _weighted_percentiles(values, weights)
+        b = _weighted_percentiles(values, [10 * w for w in weights])
+        for key in ("p50", "p95", "p99", "max"):
+            assert a[key] == b[key]
+
+    def _traced_run(self, weights):
+        coflows = [
+            Coflow([Flow(0, 1, 4.0)], 0.0, coflow_id=0, weight=weights[0]),
+            Coflow([Flow(2, 3, 2.0)], 0.0, coflow_id=1, weight=weights[1]),
+        ]
+        tracer = Tracer()
+        CoflowSimulator(
+            Fabric(n_ports=4, rate=1.0),
+            make_scheduler("sebf"),
+            instrumentation=tracer,
+        ).run(coflows)
+        return tracer
+
+    def test_trace_carries_weights_into_summary(self):
+        tracer = self._traced_run((1.0, 5.0))
+        submits = [e for e in tracer.events if e["kind"] == "coflow_submit"]
+        assert sorted(e["weight"] for e in submits) == [1.0, 5.0]
+        summary = summarize_trace(tracer.events)
+        assert "cct_weighted_seconds" in summary
+
+    def test_unit_weight_trace_stays_unweighted(self):
+        tracer = self._traced_run((1.0, 1.0))
+        summary = summarize_trace(tracer.events)
+        assert "cct_weighted_seconds" not in summary

@@ -23,6 +23,7 @@ from repro.network.flow import coflow_from_matrix
 from repro.network.schedulers import make_scheduler
 from repro.network.schedulers.base import maxmin_fill
 from repro.network.simulator import CoflowSimulator
+from repro.workloads.synthetic import adversarial_locality_instance
 from repro.workloads.zipf import zipf_weights
 from tests.conftest import brute_force_metrics
 
@@ -114,13 +115,14 @@ class TestStrategyInvariants:
         assert t_ccf <= 2.0 * min(t_hash, t_mini) + 1e-9
 
     def test_heuristic_worst_known_adversarial_instance(self):
-        # The worst band violation hypothesis has found so far: the
-        # greedy's locality tie-break strands partition 3's 5-byte
-        # column badly (T=8) where Mini reaches 5.  Pinned so the ratio
-        # is tracked deliberately rather than rediscovered at random.
-        h = np.array([[0.0, 0.0, 1.0, 4.0, 4.0],
-                      [4.0, 4.0, 4.0, 5.0, 4.0]])
-        model = ShuffleModel(h=h, rate=1.0)
+        # The worst band violation hypothesis has found so far, kept as
+        # the named fixture `adversarial_locality_instance`: the
+        # greedy's locality tie-break parks the early tied partitions
+        # on their holder node "for free", leaving the symmetric final
+        # partition nowhere cheap to go (T=8) where Mini reaches 5.
+        # Pinned so the ratio is tracked deliberately rather than
+        # rediscovered at random; docs/algorithms.md explains the trace.
+        model = adversarial_locality_instance()
         t_ccf = model.evaluate(ccf_heuristic(model)).bottleneck_bytes
         t_mini = model.evaluate(mini_assignment(model)).bottleneck_bytes
         assert t_mini == 5.0

@@ -26,7 +26,9 @@ from repro.network.schedulers.base import (
     maxmin_fill_reference,
 )
 
-SCHEDULERS = ("sebf", "dclas", "fair", "wss", "fifo", "scf", "ncf")
+SCHEDULERS = (
+    "sebf", "dclas", "fair", "wss", "fifo", "scf", "ncf", "wcct5", "lpcct",
+)
 
 
 @st.composite

@@ -1,0 +1,89 @@
+"""Drift test: docs/algorithms.md must cover every registered scheduler.
+
+Same contract as ``tests/experiments/test_catalog.py`` for the
+experiment catalog: the handbook's "scheduler zoo" part carries one
+``### `name` `` section per entry of the scheduler registry, so adding a
+discipline without documenting it (or documenting a ghost) fails CI.
+"""
+
+import re
+from pathlib import Path
+
+from repro.network.schedulers import SCHEDULER_NAMES, make_scheduler
+
+HANDBOOK = Path(__file__).resolve().parents[1] / "docs" / "algorithms.md"
+
+#: A zoo section heading: ``### `name` `` with a backticked registry name.
+SECTION_RE = re.compile(r"^###\s+`([a-z0-9]+)`\s*$")
+
+#: Every section must state these facets (the handbook's contract).
+REQUIRED_FACETS = ("Objective", "Guarantee", "Complexity", "Horizon", "Citation")
+
+
+def _zoo_sections() -> dict[str, str]:
+    """Map section name -> section body text."""
+    sections: dict[str, str] = {}
+    current: str | None = None
+    for line in HANDBOOK.read_text().splitlines():
+        m = SECTION_RE.match(line)
+        if m:
+            current = m.group(1)
+            sections[current] = ""
+        elif line.startswith("#"):
+            current = None
+        elif current is not None:
+            sections[current] += line + "\n"
+    return sections
+
+
+def test_handbook_exists():
+    assert HANDBOOK.is_file(), "docs/algorithms.md is missing"
+
+
+def test_every_registered_scheduler_has_a_section():
+    documented = set(_zoo_sections())
+    missing = set(SCHEDULER_NAMES) - documented
+    assert not missing, f"schedulers missing from docs/algorithms.md: {sorted(missing)}"
+
+
+def test_every_section_is_a_registered_scheduler():
+    ghosts = set(_zoo_sections()) - set(SCHEDULER_NAMES)
+    assert not ghosts, f"docs/algorithms.md documents unknown schedulers: {sorted(ghosts)}"
+
+
+def test_every_section_states_the_required_facets():
+    for name, body in _zoo_sections().items():
+        for facet in REQUIRED_FACETS:
+            assert f"**{facet}**" in body, (
+                f"docs/algorithms.md section for {name!r} lacks **{facet}**"
+            )
+
+
+def test_horizon_claims_match_the_code():
+    """The documented horizon keyword must match rates_valid_until."""
+    import numpy as np
+
+    from repro.network.events import SchedulingContext
+    from repro.network.fabric import Fabric
+
+    ctx = SchedulingContext(
+        time=7.25,
+        fabric=Fabric(n_ports=2, rate=1.0),
+        srcs=np.array([0], dtype=np.int64),
+        dsts=np.array([1], dtype=np.int64),
+        remaining=np.array([1.0]),
+        coflow_ids=np.array([0], dtype=np.int64),
+    )
+    sections = _zoo_sections()
+    for name in SCHEDULER_NAMES:
+        sched = make_scheduler(name)
+        rates = np.zeros(1)
+        horizon = sched.rates_valid_until(ctx, rates)
+        body = sections[name]
+        if horizon == np.inf:
+            assert "`inf`" in body, f"{name}: code says inf, doc disagrees"
+        else:
+            assert horizon == ctx.time, f"{name}: unexpected horizon {horizon}"
+            assert "`ctx.time`" in body, (
+                f"{name}: code says ctx.time, doc disagrees"
+            )
